@@ -1,0 +1,203 @@
+// Benchmarks: one per reproduced experiment (E1-E14, matching DESIGN.md's
+// index — run `go test -bench=. -benchmem`), plus micro-benchmarks of the
+// substrates. Experiment benchmarks run the Quick configuration; use
+// cmd/cogbench for the full sweeps and rendered tables.
+package crn_test
+
+import (
+	"fmt"
+	"testing"
+
+	crn "github.com/cogradio/crn"
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/backoff"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/cogcomp"
+	"github.com/cogradio/crn/internal/exper"
+	"github.com/cogradio/crn/internal/games"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// benchExperiment runs one registered experiment in quick mode per
+// iteration. The measured time is the full sweep including baselines.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exper.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(exper.Config{Seed: int64(i + 1), Trials: 3, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1CogcastScalingN(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2CogcastScalingC(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3BroadcastVsRendezvous(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4CogcompScaling(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5AggregationVsRendezvous(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6HittingGameLowerBound(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7ReductionPlayer(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8GlobalLabelLB(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE9HoppingTogether(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10DynamicChannels(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11JammingResistance(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12BackoffResolution(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13EpidemicStages(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14MessageOverhead(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15AdversarialDynamic(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16CollisionModels(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkE17KappaThreshold(b *testing.B)         { benchExperiment(b, "E17") }
+func BenchmarkE18GossipExtension(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19RendezvousBaseline(b *testing.B)     { benchExperiment(b, "E19") }
+func BenchmarkE20FaultRobustness(b *testing.B)        { benchExperiment(b, "E20") }
+func BenchmarkE21MediumUtilization(b *testing.B)      { benchExperiment(b, "E21") }
+func BenchmarkE22PrimaryUserSpectrum(b *testing.B)    { benchExperiment(b, "E22") }
+func BenchmarkE23AggregationLowerBound(b *testing.B)  { benchExperiment(b, "E23") }
+func BenchmarkE24BackoffCost(b *testing.B)            { benchExperiment(b, "E24") }
+func BenchmarkE25AggregationSessions(b *testing.B)    { benchExperiment(b, "E25") }
+
+// --- Substrate micro-benchmarks ------------------------------------------------
+
+// BenchmarkEngineSlot measures the cost of one simulated slot with 256
+// COGCAST nodes in steady state (all informed, all broadcasting).
+func BenchmarkEngineSlot(b *testing.B) {
+	const n, c = 256, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	eng, err := sim.NewEngine(asn, protos, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSlot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCogcastComplete measures a full broadcast to completion at
+// several network sizes.
+func BenchmarkCogcastComplete(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			asn, err := assign.SharedCore(n, 16, 4, 48, assign.LocalLabels, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var slots int
+			for i := 0; i < b.N; i++ {
+				res, err := cogcast.Run(asn, 0, "m", int64(i), cogcast.RunConfig{
+					UntilAllInformed: true,
+					MaxSlots:         64 * cogcast.SlotBound(n, 16, 4, cogcast.DefaultKappa),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots += res.Slots
+			}
+			b.ReportMetric(float64(slots)/float64(b.N), "slots/op")
+		})
+	}
+}
+
+// BenchmarkCogcompComplete measures a full aggregation to completion.
+func BenchmarkCogcompComplete(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			asn, err := assign.SharedCore(n, 8, 2, 24, assign.LocalLabels, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs := make([]int64, n)
+			for i := range inputs {
+				inputs[i] = int64(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var slots int
+			for i := 0; i < b.N; i++ {
+				res, err := cogcomp.Run(asn, 0, inputs, int64(i), cogcomp.Config{Func: aggfunc.Sum{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots += res.TotalSlots
+			}
+			b.ReportMetric(float64(slots)/float64(b.N), "slots/op")
+		})
+	}
+}
+
+// BenchmarkBackoffResolve measures one abstracted collision resolution at
+// the micro-slot level.
+func BenchmarkBackoffResolve(b *testing.B) {
+	for _, m := range []int{2, 64, 1024} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			var micro int
+			for i := 0; i < b.N; i++ {
+				res, err := backoff.Resolve(m, 1024, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				micro += res.MicroSlots
+			}
+			b.ReportMetric(float64(micro)/float64(b.N), "microslots/op")
+		})
+	}
+}
+
+// BenchmarkHittingGame measures reference-player games.
+func BenchmarkHittingGame(b *testing.B) {
+	const c, k = 32, 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := games.NewGame(c, k, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Play(games.NewNonRepeatingPlayer(c, int64(i)), c*c)
+	}
+}
+
+// BenchmarkPublicAPIBroadcast measures the facade end to end.
+func BenchmarkPublicAPIBroadcast(b *testing.B) {
+	net, err := crn.NewNetwork(crn.Spec{
+		Nodes: 128, ChannelsPerNode: 8, MinOverlap: 2,
+		TotalChannels: 24, Topology: crn.SharedCore, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := net.Broadcast(crn.BroadcastOptions{
+			Payload: "m", Seed: int64(i), RunToCompletion: true, MaxSlots: 10 * net.SlotBound(0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command cogbench runs the experiment suite that reproduces every
+// analytical claim of the paper (see DESIGN.md for the per-experiment
+// index) and renders the resulting tables.
+//
+// Examples:
+//
+//	cogbench                      # run everything, full sweeps
+//	cogbench -exp E1,E6 -quick    # two experiments, reduced sweeps
+//	cogbench -format markdown     # Markdown output (EXPERIMENTS.md source)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/cogradio/crn/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cogbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cogbench", flag.ContinueOnError)
+	var (
+		expList = fs.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E6) or 'all'")
+		seed    = fs.Int64("seed", 42, "root seed")
+		trials  = fs.Int("trials", 0, "trials per parameter point (0 = default)")
+		quick   = fs.Bool("quick", false, "reduced sweeps")
+		format  = fs.String("format", "text", "output format: text, markdown or csv")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Fprintf(out, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []exper.Experiment
+	if *expList == "all" {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := exper.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			var rerr error
+			switch *format {
+			case "markdown":
+				rerr = t.Markdown(out)
+			case "csv":
+				rerr = t.CSV(out)
+			case "text":
+				rerr = t.Render(out)
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+			if rerr != nil {
+				return rerr
+			}
+		}
+		if *format == "text" {
+			fmt.Fprintf(out, "[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"E1", "E12", "E19"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E12", "-quick", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E12") || !strings.Contains(s, "finished in") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "e6", "-quick", "-format", "markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### E6") {
+		t.Errorf("markdown output = %q", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E12", "-quick", "-trials", "2", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "m contenders,") {
+		t.Errorf("csv output = %q", s)
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E6, E7", "-quick", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E6:") || !strings.Contains(s, "E7a:") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-exp", "E12", "-format", "tsv"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNonRepeatingGame(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-c", "12", "-k", "3", "-trials", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lemma11:") || !strings.Contains(s, "result:") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestCompleteGameReportsLemma14(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-c", "12", "-k", "12", "-trials", "50", "-player", "uniform"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lemma14:") {
+		t.Errorf("complete game output missing lemma14 line: %q", s)
+	}
+	if strings.Contains(s, "lemma11:") {
+		t.Errorf("k=c run should not report the k<=c/2 bound: %q", s)
+	}
+}
+
+func TestReductionPlayerRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-c", "10", "-k", "2", "-player", "reduction", "-n", "6", "-trials", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "player reduction") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestUnknownPlayer(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-player", "psychic"}, &out); err == nil {
+		t.Error("unknown player accepted")
+	}
+}
+
+func TestNoWinsWithinBudget(t *testing.T) {
+	var out bytes.Buffer
+	// A one-round budget on a large game: almost surely no wins.
+	if err := run([]string{"-c", "40", "-k", "1", "-trials", "5", "-max-rounds", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "wins") && !strings.Contains(s, "no wins") {
+		t.Errorf("output = %q", s)
+	}
+}

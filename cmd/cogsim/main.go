@@ -1,0 +1,204 @@
+// Command cogsim runs a single protocol over a generated cognitive radio
+// network and prints what happened. It exercises the public crn API — the
+// same entry points a library user would call.
+//
+// Examples:
+//
+//	cogsim -protocol cogcast -n 128 -c 16 -k 4 -C 48
+//	cogsim -protocol cogcomp -n 64 -c 8 -k 2 -C 24 -agg stats
+//	cogsim -protocol hop -n 8 -c 64 -k 63 -topology partitioned -labels global
+//	cogsim -protocol cogcast -jam random -jamk 3 -n 32 -c 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	crn "github.com/cogradio/crn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cogsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cogsim", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "cogcast", "protocol: cogcast, cogcomp, session, gossip, rendezvous, rendezvous-agg, hop")
+		n        = fs.Int("n", 64, "number of nodes")
+		c        = fs.Int("c", 8, "channels per node")
+		k        = fs.Int("k", 2, "guaranteed pairwise overlap")
+		total    = fs.Int("C", 0, "total channels (0 = 3c for shared-core)")
+		topology = fs.String("topology", "shared-core", "topology: full, partitioned, shared-core, random-pool, pairwise")
+		labels   = fs.String("labels", "local", "label model: local or global")
+		dynamic  = fs.Bool("dynamic", false, "re-draw channel sets every slot")
+		jam      = fs.String("jam", "", "jammer strategy (none, random, sweep, split); overrides topology")
+		jamK     = fs.Int("jamk", 0, "channels jammed per node per slot")
+		seed     = fs.Int64("seed", 1, "root seed")
+		source   = fs.Int("source", 0, "source node")
+		agg      = fs.String("agg", "sum", "aggregate for cogcomp: sum, count, min, max, stats, collect")
+		rounds   = fs.Int("rounds", 3, "reporting rounds for the session protocol")
+		rumors   = fs.Int("rumors", 4, "rumor count for the gossip protocol")
+		maxSlots = fs.Int("max-slots", 0, "slot budget (0 = automatic)")
+		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := buildNetwork(*jam, *jamK, *n, *c, *k, *total, *topology, *labels, *dynamic, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "network: n=%d c=%d k=%d C=%d dynamic=%v\n",
+		net.Nodes(), net.ChannelsPerNode(), net.MinOverlap(), net.TotalChannels(), net.Dynamic())
+	fmt.Fprintf(out, "theory:  COGCAST slot bound = %d\n", net.SlotBound(0))
+
+	budget := *maxSlots
+	if budget == 0 {
+		budget = 64 * net.SlotBound(0)
+	}
+	switch *protocol {
+	case "cogcast":
+		res, err := net.Broadcast(crn.BroadcastOptions{
+			Source: *source, Payload: "INIT", Seed: *seed,
+			RunToCompletion: true, MaxSlots: budget, Trajectory: *curve,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cogcast: %d slots, all informed: %v, tree height %d\n",
+			res.Slots, res.AllInformed, res.TreeHeight)
+		if *curve {
+			fmt.Fprintf(out, "epidemic: %s\n", sparkline(res.Trajectory, net.Nodes()))
+		}
+	case "cogcomp":
+		inputs := make([]int64, net.Nodes())
+		for i := range inputs {
+			inputs[i] = int64(i)
+		}
+		res, err := net.Aggregate(inputs, crn.AggregateOptions{
+			Source: *source, Func: *agg, Seed: *seed, MaxSlots: *maxSlots,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cogcomp: %d slots (phases %d/%d/%d/%d), %s = %v, max message %d words\n",
+			res.Slots, res.Phase1Slots, res.Phase2Slots, res.Phase3Slots, res.Phase4Slots,
+			*agg, res.Value, res.MaxMessageSize)
+	case "session":
+		roundInputs := make([][]int64, *rounds)
+		for r := range roundInputs {
+			roundInputs[r] = make([]int64, net.Nodes())
+			for i := range roundInputs[r] {
+				roundInputs[r][i] = int64(r*1000 + i)
+			}
+		}
+		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
+			Source: *source, Func: *agg, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "session: %d rounds in %d slots (setup %d + %d/round window)\n",
+			*rounds, res.Slots, res.SetupSlots, res.RoundSlots)
+		for r, v := range res.Values {
+			fmt.Fprintf(out, "  round %d: %s = %v\n", r+1, *agg, v)
+		}
+	case "gossip":
+		sources := make([]crn.NodeID, *rumors)
+		for i := range sources {
+			sources[i] = (i * net.Nodes()) / *rumors
+		}
+		res, err := net.Gossip(sources, *seed, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "gossip: %d rumors to all %d nodes in %d slots, complete: %v\n",
+			*rumors, net.Nodes(), res.Slots, res.Complete)
+	case "rendezvous":
+		slots, done, err := net.RendezvousBroadcast(*source, "INIT", *seed, 128*budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rendezvous broadcast: %d slots, complete: %v\n", slots, done)
+	case "rendezvous-agg":
+		inputs := make([]int64, net.Nodes())
+		slots, done, err := net.RendezvousAggregate(*source, inputs, *seed, 1024*budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rendezvous aggregation: %d slots, complete: %v\n", slots, done)
+	case "hop":
+		slots, done, err := net.HoppingTogether(*source, "INIT", *seed, 64*net.TotalChannels())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hopping-together: %d slots, complete: %v (one spectrum pass = %d)\n",
+			slots, done, net.TotalChannels())
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	return nil
+}
+
+// sparkline renders an informed-count trajectory as a compact bar curve.
+func sparkline(traj []int, max int) string {
+	if len(traj) == 0 || max == 0 {
+		return ""
+	}
+	const bars = "▁▂▃▄▅▆▇█"
+	// Downsample long runs to at most 60 columns.
+	step := (len(traj) + 59) / 60
+	var b []rune
+	for i := 0; i < len(traj); i += step {
+		level := traj[i] * (len([]rune(bars)) - 1) / max
+		b = append(b, []rune(bars)[level])
+	}
+	return string(b)
+}
+
+func buildNetwork(jam string, jamK, n, c, k, total int, topology, labels string, dynamic bool, seed int64) (*crn.Network, error) {
+	if jam != "" {
+		return crn.NewJammedNetwork(n, c, jamK, jam, seed)
+	}
+	spec := crn.Spec{
+		Nodes:           n,
+		ChannelsPerNode: c,
+		MinOverlap:      k,
+		TotalChannels:   total,
+		Dynamic:         dynamic,
+		Seed:            seed,
+	}
+	if spec.TotalChannels == 0 {
+		spec.TotalChannels = 3 * c
+	}
+	switch topology {
+	case "full":
+		spec.Topology = crn.FullOverlap
+	case "partitioned":
+		spec.Topology = crn.Partitioned
+	case "shared-core":
+		spec.Topology = crn.SharedCore
+	case "random-pool":
+		spec.Topology = crn.RandomPool
+	case "pairwise":
+		spec.Topology = crn.PairwiseDedicated
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+	switch labels {
+	case "local":
+		spec.Labels = crn.LocalLabels
+	case "global":
+		spec.Labels = crn.GlobalLabels
+	default:
+		return nil, fmt.Errorf("unknown label model %q", labels)
+	}
+	return crn.NewNetwork(spec)
+}

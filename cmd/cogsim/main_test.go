@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestCogcastRun(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2")
+	if !strings.Contains(out, "cogcast:") || !strings.Contains(out, "all informed: true") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCogcompRun(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcomp", "-n", "16", "-c", "4", "-k", "2", "-agg", "stats")
+	if !strings.Contains(out, "cogcomp:") || !strings.Contains(out, "stats =") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRendezvousRun(t *testing.T) {
+	out := runOK(t, "-protocol", "rendezvous", "-n", "12", "-c", "4", "-k", "2")
+	if !strings.Contains(out, "rendezvous broadcast:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRendezvousAggRun(t *testing.T) {
+	out := runOK(t, "-protocol", "rendezvous-agg", "-n", "8", "-c", "4", "-k", "2")
+	if !strings.Contains(out, "rendezvous aggregation:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestHopRun(t *testing.T) {
+	out := runOK(t, "-protocol", "hop", "-n", "6", "-c", "4", "-k", "2",
+		"-topology", "partitioned", "-labels", "global")
+	if !strings.Contains(out, "hopping-together:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestJammedRun(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcast", "-jam", "random", "-jamk", "2", "-n", "12", "-c", "8")
+	if !strings.Contains(out, "dynamic=true") || !strings.Contains(out, "all informed: true") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestEveryTopologyFlag(t *testing.T) {
+	for _, topo := range []string{"full", "partitioned", "shared-core", "random-pool"} {
+		args := []string{"-protocol", "cogcast", "-n", "8", "-c", "6", "-k", "2", "-topology", topo}
+		if topo == "random-pool" {
+			args = append(args, "-C", "12")
+		}
+		out := runOK(t, args...)
+		if !strings.Contains(out, "network:") {
+			t.Errorf("%s: output = %q", topo, out)
+		}
+	}
+	// Pairwise needs c >= k(n-1).
+	out := runOK(t, "-protocol", "cogcast", "-n", "4", "-c", "6", "-k", "2", "-topology", "pairwise")
+	if !strings.Contains(out, "network:") {
+		t.Errorf("pairwise: output = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-protocol", "warp-drive"},
+		{"-topology", "moebius"},
+		{"-labels", "esperanto"},
+		{"-jam", "nuke", "-jamk", "1"},
+		{"-n", "4", "-c", "2", "-k", "5"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	out := runOK(t, "-protocol", "session", "-n", "16", "-c", "4", "-k", "2", "-rounds", "2")
+	if !strings.Contains(out, "session: 2 rounds") || !strings.Contains(out, "round 2:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestGossipRun(t *testing.T) {
+	out := runOK(t, "-protocol", "gossip", "-n", "16", "-c", "4", "-k", "2", "-rumors", "3")
+	if !strings.Contains(out, "gossip: 3 rumors") || !strings.Contains(out, "complete: true") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCurveFlag(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2", "-curve")
+	if !strings.Contains(out, "epidemic:") {
+		t.Errorf("output = %q", out)
+	}
+}

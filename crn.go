@@ -1,0 +1,487 @@
+// Package crn is a simulation library for communication in single-hop
+// cognitive radio networks, reproducing "Efficient Communication in
+// Cognitive Radio Networks" (Gilbert, Kuhn, Newport, Zheng — PODC 2015).
+//
+// The model: n nodes, C physical channels, each node holding c of them,
+// every pair of nodes overlapping on at least k channels. Time is slotted;
+// per slot a node tunes to one channel and broadcasts or listens; when
+// several nodes broadcast on a channel one uniformly chosen message is
+// delivered (a backoff layer the paper abstracts away — see the E12
+// experiment for its cost).
+//
+// The package exposes the paper's two protocols:
+//
+//   - Broadcast (COGCAST): epidemic local broadcast in
+//     O((c/k)·max{1,c/n}·lg n) slots w.h.p.
+//   - Aggregate (COGCOMP): data aggregation over the broadcast's implicit
+//     spanning tree in O((c/k)·max{1,c/n}·lg n + n) slots w.h.p.
+//
+// plus the baselines the paper compares against (rendezvous broadcast,
+// rendezvous aggregation, global-label lockstep scanning) and a jammed
+// multi-channel network adapter (Theorem 18). Everything is deterministic
+// given a seed.
+//
+// Quick start:
+//
+//	net, err := crn.NewNetwork(crn.Spec{
+//		Nodes: 64, ChannelsPerNode: 8, MinOverlap: 2,
+//		TotalChannels: 24, Topology: crn.SharedCore, Seed: 1,
+//	})
+//	...
+//	res, err := net.Broadcast(crn.BroadcastOptions{Payload: "hello", Seed: 1})
+//	fmt.Println(res.Slots, res.AllInformed)
+package crn
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/baseline"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/cogcomp"
+	"github.com/cogradio/crn/internal/jamming"
+	"github.com/cogradio/crn/internal/metrics"
+	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/tree"
+)
+
+// NodeID identifies a node, 0..n-1.
+type NodeID = int
+
+// None marks "no node" in parent slices (the source's parent, uninformed
+// nodes).
+const None NodeID = -1
+
+// Topology selects how channel sets are generated.
+type Topology int
+
+// Topologies. See DESIGN.md for which parts of the paper's analysis each
+// exercises.
+const (
+	// FullOverlap: all nodes share the same c channels (C = c, k = c).
+	FullOverlap Topology = iota + 1
+	// Partitioned: k channels shared by everyone, the rest private per
+	// node (the Theorem 16 lower-bound construction; C = k + n(c−k)).
+	Partitioned
+	// SharedCore: k shared channels plus uniformly drawn extras from a
+	// pool of TotalChannels (the generic topology; overlaps >= k).
+	SharedCore
+	// RandomPool: every set drawn uniformly from TotalChannels, rejected
+	// until pairwise overlap >= k.
+	RandomPool
+	// PairwiseDedicated: every pair of nodes shares k channels dedicated
+	// to that pair (the "spread overlap" extreme of Claim 2; needs
+	// c >= k(n−1)).
+	PairwiseDedicated
+)
+
+// Labels selects the channel-label model.
+type Labels int
+
+// Label models.
+const (
+	// LocalLabels (the paper's default): each node names its channels in a
+	// private arbitrary order.
+	LocalLabels Labels = iota
+	// GlobalLabels: all nodes use a consistent numbering; required by the
+	// HoppingTogether baseline.
+	GlobalLabels
+)
+
+// Spec describes a network to build.
+type Spec struct {
+	// Nodes is n.
+	Nodes int
+	// ChannelsPerNode is c.
+	ChannelsPerNode int
+	// MinOverlap is k.
+	MinOverlap int
+	// TotalChannels is C; required by SharedCore and RandomPool, derived
+	// for the other topologies.
+	TotalChannels int
+	// Topology selects the generator. Zero value is invalid; pick one.
+	Topology Topology
+	// Labels selects the label model (default LocalLabels).
+	Labels Labels
+	// Dynamic re-draws channel sets every slot while preserving MinOverlap
+	// (SharedCore semantics). Broadcast supports dynamic networks;
+	// Aggregate requires a static one.
+	Dynamic bool
+	// Seed determines the generated assignment.
+	Seed int64
+}
+
+// Network is an immutable network instance protocols run over.
+type Network struct {
+	asn     sim.Assignment
+	dynamic bool
+}
+
+// NewNetwork builds a network from a Spec.
+func NewNetwork(spec Spec) (*Network, error) {
+	model := assign.LocalLabels
+	if spec.Labels == GlobalLabels {
+		model = assign.GlobalLabels
+	}
+	if spec.Dynamic {
+		if spec.Topology != SharedCore {
+			return nil, errors.New("crn: dynamic networks use SharedCore semantics; set Topology: SharedCore")
+		}
+		if spec.Labels == GlobalLabels {
+			return nil, errors.New("crn: dynamic networks re-draw sets per slot and only support local labels")
+		}
+		asn, err := assign.NewDynamic(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, spec.TotalChannels, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Network{asn: asn, dynamic: true}, nil
+	}
+	var (
+		asn sim.Assignment
+		err error
+	)
+	switch spec.Topology {
+	case FullOverlap:
+		asn, err = assign.FullOverlap(spec.Nodes, spec.ChannelsPerNode, model, spec.Seed)
+	case Partitioned:
+		asn, err = assign.Partitioned(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, model, spec.Seed)
+	case SharedCore:
+		asn, err = assign.SharedCore(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, spec.TotalChannels, model, spec.Seed)
+	case RandomPool:
+		asn, err = assign.RandomPool(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, spec.TotalChannels, model, spec.Seed)
+	case PairwiseDedicated:
+		asn, err = assign.PairwiseDedicated(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, model, spec.Seed)
+	default:
+		return nil, fmt.Errorf("crn: unknown topology %d", spec.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Network{asn: asn}, nil
+}
+
+// NewJammedNetwork builds the Theorem 18 reduction: a classic n-node,
+// c-channel network under an n-uniform adversary that jams up to kJam < c/2
+// channels per node per slot. strategy is one of "none", "random", "sweep",
+// "split". The result behaves like a dynamic cognitive radio network with
+// pairwise overlap at least c−2·kJam; Broadcast runs over it unmodified.
+func NewJammedNetwork(nodes, channels, kJam int, strategy string, seed int64) (*Network, error) {
+	var jam jamming.Jammer
+	switch strategy {
+	case "none":
+		jam = jamming.NoJammer{}
+	case "random":
+		jam = jamming.NewRandomJammer(channels, kJam, seed)
+	case "sweep":
+		jam = jamming.NewSweepJammer(channels, kJam)
+	case "split":
+		jam = jamming.NewSplitJammer(channels, kJam, 4)
+	default:
+		return nil, fmt.Errorf("crn: unknown jammer strategy %q (want none, random, sweep or split)", strategy)
+	}
+	asn, err := jamming.NewAssignment(nodes, channels, kJam, jam, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{asn: asn, dynamic: true}, nil
+}
+
+// Nodes returns n.
+func (nw *Network) Nodes() int { return nw.asn.Nodes() }
+
+// ChannelsPerNode returns c.
+func (nw *Network) ChannelsPerNode() int { return nw.asn.PerNode() }
+
+// MinOverlap returns k.
+func (nw *Network) MinOverlap() int { return nw.asn.MinOverlap() }
+
+// TotalChannels returns C.
+func (nw *Network) TotalChannels() int { return nw.asn.Channels() }
+
+// Dynamic reports whether channel sets change per slot.
+func (nw *Network) Dynamic() bool { return nw.dynamic }
+
+// SlotBound returns the paper's COGCAST run-length
+// κ·(c/k)·max{1,c/n}·lg n for this network (κ = kappa; pass 0 for the
+// library default).
+func (nw *Network) SlotBound(kappa float64) int {
+	if kappa == 0 {
+		kappa = cogcast.DefaultKappa
+	}
+	return cogcast.SlotBound(nw.Nodes(), nw.ChannelsPerNode(), nw.MinOverlap(), kappa)
+}
+
+// BroadcastOptions configures a Broadcast run.
+type BroadcastOptions struct {
+	// Source is the initiating node (default 0).
+	Source NodeID
+	// Payload is the message to disseminate.
+	Payload any
+	// Seed determines all protocol randomness.
+	Seed int64
+	// MaxSlots bounds the run; zero means the theoretical SlotBound.
+	MaxSlots int
+	// RunToCompletion stops as soon as every node is informed, measuring
+	// completion time, rather than running the fixed theoretical horizon.
+	RunToCompletion bool
+	// Trajectory records the informed count after every slot.
+	Trajectory bool
+	// CollectMetrics requests medium statistics (busy channels, collision
+	// and delivery rates) in the result.
+	CollectMetrics bool
+}
+
+// BroadcastResult reports a Broadcast run.
+type BroadcastResult struct {
+	// Slots executed.
+	Slots int
+	// AllInformed reports whether every node holds the message.
+	AllInformed bool
+	// Parents is the implicit distribution tree: Parents[v] is the node
+	// that informed v (None for the source and uninformed nodes).
+	Parents []NodeID
+	// InformedSlots[v] is when v was informed (-1 for source/uninformed).
+	InformedSlots []int
+	// Trajectory (if requested) is the informed count after each slot.
+	Trajectory []int
+	// TreeHeight is the distribution tree's height (0 if no tree).
+	TreeHeight int
+	// Metrics carries medium statistics when requested via CollectMetrics.
+	Metrics *MediumMetrics
+}
+
+// MediumMetrics summarizes how a run used the radio medium.
+type MediumMetrics struct {
+	// BusyChannelsPerSlot is the mean number of channels carrying traffic.
+	BusyChannelsPerSlot float64
+	// BroadcastsPerSlot is the mean number of transmissions per slot.
+	BroadcastsPerSlot float64
+	// CollisionRate is the fraction of busy channels with 2+ broadcasters.
+	CollisionRate float64
+	// DeliveryRate is the fraction of listens that received a message.
+	DeliveryRate float64
+}
+
+// Broadcast runs COGCAST over the network.
+func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
+	cfg := cogcast.RunConfig{
+		MaxSlots:         opts.MaxSlots,
+		Trajectory:       opts.Trajectory,
+		UntilAllInformed: opts.RunToCompletion,
+	}
+	var collector *metrics.Collector
+	if opts.CollectMetrics {
+		collector = &metrics.Collector{}
+		cfg.Observer = collector
+	}
+	res, err := cogcast.Run(nw.asn, sim.NodeID(opts.Source), opts.Payload, opts.Seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &BroadcastResult{
+		Slots:         res.Slots,
+		AllInformed:   res.AllInformed,
+		Parents:       make([]NodeID, len(res.Parents)),
+		InformedSlots: res.InformedSlots,
+		Trajectory:    res.Trajectory,
+	}
+	for i, p := range res.Parents {
+		out.Parents[i] = NodeID(p)
+	}
+	if tr, terr := tree.New(sim.NodeID(opts.Source), res.Parents); terr == nil {
+		out.TreeHeight = tr.Height()
+	}
+	if collector != nil {
+		m := collector.Snapshot()
+		out.Metrics = &MediumMetrics{
+			BusyChannelsPerSlot: m.BusyChannelsPerSlot,
+			BroadcastsPerSlot:   m.BroadcastsPerSlot,
+			CollisionRate:       m.CollisionRate,
+			DeliveryRate:        m.DeliveryRate,
+		}
+	}
+	return out, nil
+}
+
+// AggregateOptions configures an Aggregate run.
+type AggregateOptions struct {
+	// Source is the node that ends up holding the aggregate (default 0).
+	Source NodeID
+	// Func selects the aggregate: "sum" (default), "count", "min", "max",
+	// "stats", or "collect".
+	Func string
+	// Seed determines all protocol randomness.
+	Seed int64
+	// Kappa scales phase one's length (0 = library default).
+	Kappa float64
+	// MaxSlots bounds the run (0 = a budget above the Theorem 10 bound).
+	MaxSlots int
+}
+
+// AggregateResult reports an Aggregate run.
+type AggregateResult struct {
+	// Value is the aggregate at the source: int64 for sum/count/min/max,
+	// Stats for "stats", []Reading for "collect".
+	Value any
+	// Slots executed in total, and the per-phase breakdown.
+	Slots                                              int
+	Phase1Slots, Phase2Slots, Phase3Slots, Phase4Slots int
+	// Parents is the distribution tree used.
+	Parents []NodeID
+	// MaxMessageSize is the largest value message sent, in abstract words.
+	MaxMessageSize int
+}
+
+// Stats is the value of the "stats" aggregate.
+type Stats struct {
+	Count, Sum, Min, Max int64
+	Mean                 float64
+}
+
+// Reading is one entry of the "collect" aggregate.
+type Reading struct {
+	Node  NodeID
+	Value int64
+}
+
+// ErrIncomplete is returned by Aggregate when some nodes were never
+// informed during phase one (the w.h.p. event failed), so the aggregate is
+// missing inputs. Re-run with a larger Kappa.
+var ErrIncomplete = cogcomp.ErrIncomplete
+
+// Aggregate runs COGCOMP over the network: inputs[v] is node v's datum, and
+// the returned value is the aggregate of all inputs at the source. The
+// network must be static (phases two to four revisit phase-one channels).
+func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateResult, error) {
+	if nw.dynamic {
+		return nil, errors.New("crn: Aggregate requires a static network (COGCOMP revisits phase-one channels)")
+	}
+	name := opts.Func
+	if name == "" {
+		name = "sum"
+	}
+	f, err := aggfunc.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cogcomp.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cogcomp.Config{
+		Kappa:    opts.Kappa,
+		MaxSlots: opts.MaxSlots,
+		Func:     f,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AggregateResult{
+		Value:          exportValue(res.Value),
+		Slots:          res.TotalSlots,
+		Phase1Slots:    res.Phase1Slots,
+		Phase2Slots:    res.Phase2Slots,
+		Phase3Slots:    res.Phase3Slots,
+		Phase4Slots:    res.Phase4Slots,
+		Parents:        make([]NodeID, len(res.Parents)),
+		MaxMessageSize: res.MaxMessageSize,
+	}
+	for i, p := range res.Parents {
+		out.Parents[i] = NodeID(p)
+	}
+	return out, nil
+}
+
+// exportValue converts internal aggregate values to public types.
+func exportValue(v aggfunc.Value) any {
+	switch x := v.(type) {
+	case aggfunc.StatsValue:
+		return Stats{Count: x.Count, Sum: x.Sum, Min: x.Min, Max: x.Max, Mean: x.Mean()}
+	case []aggfunc.Entry:
+		out := make([]Reading, len(x))
+		for i, e := range x {
+			out[i] = Reading{Node: NodeID(e.ID), Value: e.Input}
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// SessionResult reports a multi-round aggregation session.
+type SessionResult struct {
+	// Values[r] is the aggregate for round r (same typing as
+	// AggregateResult.Value).
+	Values []any
+	// Slots is the whole session's cost; SetupSlots the one-time phases
+	// 1-3; RoundSlots the fixed per-round window.
+	Slots, SetupSlots, RoundSlots int
+}
+
+// AggregateRounds runs a multi-round aggregation session: the distribution
+// tree and coordination structures are built once, then each round of
+// inputs (rounds[r][v] = node v's datum in round r) is converged over the
+// same tree. This amortizes the Θ((c/k)·lg n + n) setup across the paper's
+// periodic-snapshot use case. The network must be static.
+func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*SessionResult, error) {
+	if nw.dynamic {
+		return nil, errors.New("crn: AggregateRounds requires a static network")
+	}
+	name := opts.Func
+	if name == "" {
+		name = "sum"
+	}
+	f, err := aggfunc.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cogcomp.RunRounds(nw.asn, sim.NodeID(opts.Source), rounds, opts.Seed, cogcomp.SessionConfig{
+		Kappa: opts.Kappa,
+		Func:  f,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SessionResult{
+		Values:     make([]any, len(res.Values)),
+		Slots:      res.TotalSlots,
+		SetupSlots: res.SetupSlots,
+		RoundSlots: res.RoundSlots,
+	}
+	for i, v := range res.Values {
+		out.Values[i] = exportValue(v)
+	}
+	return out, nil
+}
+
+// RendezvousBroadcast runs the paper's baseline broadcast (no relaying)
+// until completion or maxSlots, returning the slot count and whether it
+// completed.
+func (nw *Network) RendezvousBroadcast(source NodeID, payload any, seed int64, maxSlots int) (int, bool, error) {
+	res, err := baseline.RendezvousBroadcast(nw.asn, sim.NodeID(source), payload, seed, maxSlots)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Slots, res.AllInformed, nil
+}
+
+// RendezvousAggregate runs the baseline aggregation (every node shouts its
+// datum at a hopping source) until the source heard everyone or maxSlots.
+func (nw *Network) RendezvousAggregate(source NodeID, inputs []int64, seed int64, maxSlots int) (int, bool, error) {
+	res, err := baseline.RendezvousAggregation(nw.asn, sim.NodeID(source), inputs, seed, maxSlots)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Slots, res.Complete, nil
+}
+
+// HoppingTogether runs the global-label lockstep-scan broadcast (Section 6
+// discussion). The network must use GlobalLabels and be static.
+func (nw *Network) HoppingTogether(source NodeID, payload any, seed int64, maxSlots int) (int, bool, error) {
+	if nw.dynamic {
+		return 0, false, errors.New("crn: HoppingTogether requires a static network")
+	}
+	res, err := baseline.HoppingTogether(nw.asn, sim.NodeID(source), payload, seed, maxSlots)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Slots, res.AllInformed, nil
+}

@@ -1,0 +1,70 @@
+// Jamming resistance: Theorem 18 reduces broadcast under an n-uniform
+// jamming adversary in a classic multi-channel network to local broadcast
+// in a dynamic cognitive radio network — and therefore to COGCAST. This
+// example pits COGCAST against three adversary strategies and increasing
+// jamming budgets, showing completion degrades only through the reduced
+// guaranteed overlap c − 2·kJam.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crn "github.com/cogradio/crn"
+)
+
+const (
+	devices  = 48
+	channels = 16
+	trials   = 5
+)
+
+func main() {
+	fmt.Printf("multi-channel network: %d devices sharing %d channels\n", devices, channels)
+	fmt.Printf("adversary: n-uniform — may jam a different channel set for every device, every slot\n\n")
+
+	strategies := []string{"none", "sweep", "split", "random"}
+	budgets := []int{0, 2, 4, 7}
+
+	fmt.Printf("%-8s %-14s", "budget", "overlap c-2k")
+	for _, s := range strategies {
+		fmt.Printf(" %-10s", s)
+	}
+	fmt.Println()
+
+	for _, budget := range budgets {
+		fmt.Printf("%-8d %-14d", budget, channels-2*budget)
+		for _, strategy := range strategies {
+			b := budget
+			if strategy == "none" {
+				b = 0
+			}
+			total := 0
+			for trial := 0; trial < trials; trial++ {
+				net, err := crn.NewJammedNetwork(devices, channels, b, strategy, int64(trial))
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := net.Broadcast(crn.BroadcastOptions{
+					Payload:         "sos",
+					Seed:            int64(1000 + trial),
+					RunToCompletion: true,
+					MaxSlots:        100 * net.SlotBound(0),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !res.AllInformed {
+					log.Fatalf("budget %d, %s: broadcast defeated", budget, strategy)
+				}
+				total += res.Slots
+			}
+			fmt.Printf(" %-10s", fmt.Sprintf("%.1f", float64(total)/trials))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n(mean slots to inform all devices; every cell completed on every trial)")
+	fmt.Println("even at budget 7 of 16 channels — overlap squeezed to 2 — the epidemic gets through,")
+	fmt.Println("because any two devices still share c-2·kJam unjammed channels each slot (Theorem 18)")
+}

@@ -1,0 +1,88 @@
+// Sensor aggregation: a field of sensors shares leftover TV-band spectrum
+// and periodically reports environmental readings to a gateway. The paper's
+// introduction motivates exactly this workload — "analyzing network
+// condition snapshots to calculate a quality of service metric" — and
+// COGCOMP computes such snapshot statistics in O((c/k)·lg n + n) slots.
+//
+// The example runs several reporting rounds, computes the full stats
+// aggregate (count/sum/min/max/mean) each round, and contrasts the message
+// overhead of associative aggregation with naive collect-everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crn "github.com/cogradio/crn"
+	"math/rand"
+)
+
+const (
+	sensors    = 96
+	channels   = 8
+	minOverlap = 2
+	spectrum   = 32
+	gateway    = 0
+	rounds     = 3
+)
+
+func main() {
+	net, err := crn.NewNetwork(crn.Spec{
+		Nodes:           sensors,
+		ChannelsPerNode: channels,
+		MinOverlap:      minOverlap,
+		TotalChannels:   spectrum,
+		Topology:        crn.SharedCore,
+		Seed:            2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor field: %d sensors, %d channels each out of %d-channel band\n\n",
+		sensors, channels, spectrum)
+
+	r := rand.New(rand.NewSource(11))
+	for round := 0; round < rounds; round++ {
+		// Simulated temperature readings in tenths of a degree.
+		readings := make([]int64, sensors)
+		for i := range readings {
+			readings[i] = 180 + r.Int63n(120) // 18.0C .. 30.0C
+		}
+
+		res, err := net.Aggregate(readings, crn.AggregateOptions{
+			Source: gateway,
+			Func:   "stats",
+			Seed:   int64(1000 + round),
+		})
+		if err != nil {
+			log.Fatalf("round %d: %v", round, err)
+		}
+		st := res.Value.(crn.Stats)
+		fmt.Printf("round %d: %d sensors reporting\n", round+1, st.Count)
+		fmt.Printf("  temperature: mean %.1fC, min %.1fC, max %.1fC\n",
+			st.Mean/10, float64(st.Min)/10, float64(st.Max)/10)
+		fmt.Printf("  cost: %d slots (convergecast alone: %d), max message %d words\n\n",
+			res.Slots, res.Phase4Slots, res.MaxMessageSize)
+	}
+
+	// Message-size comparison: the same round computed by shipping every
+	// raw reading up the tree instead of merging partial aggregates.
+	readings := make([]int64, sensors)
+	for i := range readings {
+		readings[i] = 200 + r.Int63n(80)
+	}
+	assoc, err := net.Aggregate(readings, crn.AggregateOptions{Source: gateway, Func: "stats", Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	collect, err := net.Aggregate(readings, crn.AggregateOptions{Source: gateway, Func: "collect", Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := collect.Value.([]crn.Reading)
+	fmt.Printf("overhead comparison (Section 5 discussion):\n")
+	fmt.Printf("  associative stats: largest message %d words\n", assoc.MaxMessageSize)
+	fmt.Printf("  collect-all:       largest message %d words (carried %d raw readings)\n",
+		collect.MaxMessageSize, len(all))
+	fmt.Printf("  associative aggregation keeps messages constant-size at identical slot cost\n")
+}

@@ -1,0 +1,3 @@
+module github.com/cogradio/crn
+
+go 1.22

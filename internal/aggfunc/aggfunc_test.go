@@ -1,0 +1,147 @@
+package aggfunc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestSumBasics(t *testing.T) {
+	f := Sum{}
+	if f.Name() != "sum" {
+		t.Error("name")
+	}
+	v := f.Merge(f.Leaf(0, 3), f.Leaf(1, -5))
+	if v != int64(-2) {
+		t.Errorf("merge = %v, want -2", v)
+	}
+	if f.Size(v) != 1 {
+		t.Error("size")
+	}
+}
+
+func TestCountIgnoresInput(t *testing.T) {
+	f := Count{}
+	v := f.Merge(f.Leaf(0, 999), f.Leaf(1, -999))
+	if v != int64(2) {
+		t.Errorf("count = %v, want 2", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := Min{}, Max{}
+	if got := min.Merge(min.Leaf(0, 4), min.Leaf(1, -7)); got != int64(-7) {
+		t.Errorf("min = %v", got)
+	}
+	if got := max.Merge(max.Leaf(0, 4), max.Leaf(1, -7)); got != int64(4) {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := Stats{}
+	v := f.Merge(f.Merge(f.Leaf(0, 2), f.Leaf(1, 8)), f.Leaf(2, 5)).(StatsValue)
+	want := StatsValue{Count: 3, Sum: 15, Min: 2, Max: 8}
+	if v != want {
+		t.Errorf("stats = %+v, want %+v", v, want)
+	}
+	if v.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", v.Mean())
+	}
+	if (StatsValue{}).Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if f.Size(v) != 4 {
+		t.Error("size")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	f := Collect{}
+	v := f.Merge(f.Leaf(3, 30), f.Leaf(5, 50)).([]Entry)
+	if len(v) != 2 || v[0] != (Entry{ID: 3, Input: 30}) || v[1] != (Entry{ID: 5, Input: 50}) {
+		t.Errorf("collect = %v", v)
+	}
+	if f.Size(v) != 4 {
+		t.Errorf("size = %d, want 4 (2 words per entry)", f.Size(v))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sum", "count", "min", "max", "stats", "collect"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, f.Name())
+		}
+	}
+	if _, err := ByName("median"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestFold(t *testing.T) {
+	if got := Fold(Sum{}, []int64{1, 2, 3, 4}); got != int64(10) {
+		t.Errorf("fold sum = %v", got)
+	}
+	if got := Fold(Sum{}, nil); got != nil {
+		t.Errorf("fold of empty = %v, want nil", got)
+	}
+}
+
+// Associativity and commutativity are the load-bearing assumptions of the
+// COGCOMP optimization; verify them property-style for scalar functions.
+func TestMergePropertiesQuick(t *testing.T) {
+	scalars := []Func{Sum{}, Min{}, Max{}, Count{}, Stats{}}
+	for _, f := range scalars {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			comm := func(a, b int64) bool {
+				x, y := f.Leaf(0, a), f.Leaf(1, b)
+				return f.Merge(x, y) == f.Merge(y, x)
+			}
+			if err := quick.Check(comm, nil); err != nil {
+				t.Errorf("commutativity: %v", err)
+			}
+			assoc := func(a, b, c int64) bool {
+				x, y, z := f.Leaf(0, a), f.Leaf(1, b), f.Leaf(2, c)
+				return f.Merge(f.Merge(x, y), z) == f.Merge(x, f.Merge(y, z))
+			}
+			if err := quick.Check(assoc, nil); err != nil {
+				t.Errorf("associativity: %v", err)
+			}
+		})
+	}
+}
+
+func TestCollectAssociativeUpToOrder(t *testing.T) {
+	f := Collect{}
+	x, y, z := f.Leaf(0, 1), f.Leaf(1, 2), f.Leaf(2, 3)
+	a := f.Merge(f.Merge(x, y), z).([]Entry)
+	b := f.Merge(x, f.Merge(y, z)).([]Entry)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[sim.NodeID]int64)
+	for _, e := range a {
+		seen[e.ID] = e.Input
+	}
+	for _, e := range b {
+		if seen[e.ID] != e.Input {
+			t.Errorf("entry %v missing from other association", e)
+		}
+	}
+}
+
+func TestMergeDoesNotMutateCollectArguments(t *testing.T) {
+	f := Collect{}
+	x := f.Leaf(0, 1)
+	y := f.Leaf(1, 2)
+	_ = f.Merge(x, y)
+	if len(x.([]Entry)) != 1 || len(y.([]Entry)) != 1 {
+		t.Error("merge mutated its arguments")
+	}
+}

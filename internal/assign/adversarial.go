@@ -1,0 +1,155 @@
+package assign
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// TwoSet is the network of Lemma 12's reduction: the source (node 0) holds
+// channel set A, all other n−1 nodes hold the same channel set B, and
+// |A ∩ B| = k exactly. Until the source lands on one of the k shared
+// channels simultaneously with another node, no information can flow — the
+// situation the bipartite hitting game models. C = 2c − k.
+func TwoSet(n, c, k int, model LabelModel, seed int64) (*Static, error) {
+	if err := checkCommon(n, c, k, model); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("assign: two-set network needs n >= 2, got %d", n)
+	}
+	total := 2*c - k
+	perm := randomPerm(total, rng.New(seed, 0x25e7))
+	shared := perm[:k]
+	aPriv := perm[k:c]
+	bPriv := perm[c:]
+	sets := make([][]int, n)
+	src := make([]int, 0, c)
+	src = append(src, shared...)
+	src = append(src, aPriv...)
+	sets[0] = src
+	for u := 1; u < n; u++ {
+		set := make([]int, 0, c)
+		set = append(set, shared...)
+		set = append(set, bPriv...)
+		sets[u] = set
+	}
+	if err := applyLabels(sets, model, seed); err != nil {
+		return nil, err
+	}
+	return &Static{channels: total, perNode: c, minOverlap: k, sets: sets}, nil
+}
+
+// AntiScan is the Theorem 17 adversary: a dynamic assignment that defeats
+// any algorithm whose source transmits on a *predictable* local channel
+// index. Channel sets themselves are the static partitioned construction
+// (k shared, c−k private per node), but each slot the adversary re-arranges
+// the source's local labels so that the predicted index holds one of the
+// source's private channels — "the channel availability conspires to
+// prevent communication". Requires k < c, exactly the theorem's condition:
+// with k = c there is no private channel to hide behind.
+//
+// A randomized algorithm like COGCAST is immune: the adversary must commit
+// the arrangement before the node's coin flip, and a uniform choice over a
+// set is uniform under any permutation of it.
+type AntiScan struct {
+	n, c, k int
+	sets    [][]int // node -> channel set; source's order is per-slot
+	predict func(slot int) int
+	srcBuf  []int
+	slot    int
+}
+
+var _ sim.Assignment = (*AntiScan)(nil)
+
+// NewAntiScan builds the adversary for n nodes, c channels each, k shared
+// (k < c). predict(slot) is the local index the deterministic victim will
+// transmit on in that slot; nil means the canonical sequential scan
+// (slot mod c).
+func NewAntiScan(n, c, k int, predict func(slot int) int, seed int64) (*AntiScan, error) {
+	if err := checkCommon(n, c, k, LocalLabels); err != nil {
+		return nil, err
+	}
+	if k >= c {
+		return nil, fmt.Errorf("assign: the Theorem 17 adversary needs k < c, got k=%d c=%d", k, c)
+	}
+	base, err := Partitioned(n, c, k, LocalLabels, seed)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([][]int, n)
+	for u := range sets {
+		sets[u] = append([]int(nil), base.ChannelSet(sim.NodeID(u), 0)...)
+	}
+	if predict == nil {
+		predict = func(slot int) int { return slot % c }
+	}
+	a := &AntiScan{
+		n:       n,
+		c:       c,
+		k:       k,
+		sets:    sets,
+		predict: predict,
+		srcBuf:  make([]int, c),
+		slot:    -1,
+	}
+	return a, nil
+}
+
+// Nodes returns n.
+func (a *AntiScan) Nodes() int { return a.n }
+
+// Channels returns C = k + n(c−k).
+func (a *AntiScan) Channels() int { return a.k + a.n*(a.c-a.k) }
+
+// PerNode returns c.
+func (a *AntiScan) PerNode() int { return a.c }
+
+// MinOverlap returns k.
+func (a *AntiScan) MinOverlap() int { return a.k }
+
+// ChannelSet returns the node's set; for the source the local order is
+// adversarially rotated so that the predicted index maps to a private
+// channel.
+func (a *AntiScan) ChannelSet(node sim.NodeID, slot int) []int {
+	if node != 0 {
+		return a.sets[node]
+	}
+	if slot != a.slot {
+		a.arrange(slot)
+	}
+	return a.srcBuf
+}
+
+// arrange rotates the source's set so that a private channel sits at the
+// predicted position. The source's underlying set is core channels followed
+// by private ones (Partitioned construction order before shuffling — we
+// rebuild from the stored set by membership).
+func (a *AntiScan) arrange(slot int) {
+	target := a.predict(slot) % a.c
+	if target < 0 {
+		target += a.c
+	}
+	// Identify one private channel (any channel not shared with node 1 —
+	// with the partitioned construction, private channels of the source are
+	// shared with nobody).
+	shared := make(map[int]bool, a.c)
+	for _, ch := range a.sets[1%a.n] {
+		shared[ch] = true
+	}
+	out := a.srcBuf[:0]
+	privIdx := -1
+	for _, ch := range a.sets[0] {
+		out = append(out, ch)
+	}
+	for i, ch := range out {
+		if !shared[ch] {
+			privIdx = i
+			break
+		}
+	}
+	out[target], out[privIdx] = out[privIdx], out[target]
+	a.srcBuf = out
+	a.slot = slot
+}

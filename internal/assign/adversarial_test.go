@@ -1,0 +1,122 @@
+package assign
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestTwoSetStructure(t *testing.T) {
+	const n, c, k = 6, 8, 3
+	asn, err := TwoSet(n, c, k, LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if asn.Channels() != 2*c-k {
+		t.Errorf("C = %d, want %d", asn.Channels(), 2*c-k)
+	}
+	// Source overlaps every other node on exactly k channels.
+	for v := 1; v < n; v++ {
+		if got := asn.Overlap(0, sim.NodeID(v)); got != k {
+			t.Errorf("overlap(0,%d) = %d, want exactly %d", v, got, k)
+		}
+	}
+	// Non-source nodes hold identical sets (overlap c).
+	for v := 2; v < n; v++ {
+		if got := asn.Overlap(1, sim.NodeID(v)); got != c {
+			t.Errorf("overlap(1,%d) = %d, want %d (identical sets)", v, got, c)
+		}
+	}
+}
+
+func TestTwoSetValidation(t *testing.T) {
+	if _, err := TwoSet(1, 4, 2, LocalLabels, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := TwoSet(4, 4, 5, LocalLabels, 1); err == nil {
+		t.Error("k > c accepted")
+	}
+}
+
+func TestAntiScanValidation(t *testing.T) {
+	if _, err := NewAntiScan(4, 8, 8, nil, 1); err == nil {
+		t.Error("k = c accepted; the adversary needs a private channel")
+	}
+	if _, err := NewAntiScan(4, 8, 0, nil, 1); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestAntiScanStarvesPredictedIndex(t *testing.T) {
+	const n, c, k = 5, 6, 2
+	adv, err := NewAntiScan(n, c, k, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the shared-core membership from node 1's set (every channel
+	// the source shares with anyone is in the core by construction).
+	shared := make(map[int]bool)
+	for _, ch := range adv.ChannelSet(1, 0) {
+		shared[ch] = true
+	}
+	for slot := 0; slot < 4*c; slot++ {
+		set := adv.ChannelSet(0, slot)
+		if len(set) != c {
+			t.Fatalf("slot %d: source set size %d", slot, len(set))
+		}
+		if ch := set[slot%c]; shared[ch] {
+			t.Fatalf("slot %d: predicted index %d maps to shared channel %d — adversary failed", slot, slot%c, ch)
+		}
+		// The set itself must still be the source's full channel set.
+		seen := make(map[int]bool, c)
+		for _, ch := range set {
+			if seen[ch] {
+				t.Fatalf("slot %d: duplicate channel %d", slot, ch)
+			}
+			seen[ch] = true
+		}
+	}
+}
+
+func TestAntiScanPreservesOverlap(t *testing.T) {
+	const n, c, k = 5, 6, 2
+	adv, err := NewAntiScan(n, c, k, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Nodes() != n || adv.PerNode() != c || adv.MinOverlap() != k {
+		t.Fatalf("dims = (%d,%d,%d)", adv.Nodes(), adv.PerNode(), adv.MinOverlap())
+	}
+	if want := k + n*(c-k); adv.Channels() != want {
+		t.Errorf("C = %d, want %d", adv.Channels(), want)
+	}
+	for slot := 0; slot < 10; slot++ {
+		src := append([]int(nil), adv.ChannelSet(0, slot)...)
+		for v := 1; v < n; v++ {
+			if got := overlapSlices(src, adv.ChannelSet(sim.NodeID(v), slot)); got < k {
+				t.Fatalf("slot %d: overlap(0,%d) = %d < k", slot, v, got)
+			}
+		}
+	}
+}
+
+func TestAntiScanCustomPredictor(t *testing.T) {
+	const c = 6
+	// A victim that always transmits on local index 2.
+	adv, err := NewAntiScan(4, c, 2, func(int) int { return 2 }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make(map[int]bool)
+	for _, ch := range adv.ChannelSet(1, 0) {
+		shared[ch] = true
+	}
+	for slot := 0; slot < 20; slot++ {
+		if ch := adv.ChannelSet(0, slot)[2]; shared[ch] {
+			t.Fatalf("slot %d: fixed index 2 maps to shared channel", slot)
+		}
+	}
+}

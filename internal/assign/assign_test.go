@@ -1,0 +1,383 @@
+package assign
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestFullOverlap(t *testing.T) {
+	asn, err := FullOverlap(5, 4, GlobalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if asn.Nodes() != 5 || asn.Channels() != 4 || asn.PerNode() != 4 || asn.MinOverlap() != 4 {
+		t.Fatalf("dims = (%d,%d,%d,%d)", asn.Nodes(), asn.Channels(), asn.PerNode(), asn.MinOverlap())
+	}
+	// Global labels: every node's local order is the physical order.
+	for u := 0; u < 5; u++ {
+		set := asn.ChannelSet(sim.NodeID(u), 0)
+		for i, ch := range set {
+			if ch != i {
+				t.Fatalf("node %d local %d -> physical %d, want %d under global labels", u, i, ch, i)
+			}
+		}
+	}
+}
+
+func TestFullOverlapLocalLabelsArePermutations(t *testing.T) {
+	const n, c = 8, 16
+	asn, err := FullOverlap(n, c, LocalLabels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	distinct := 0
+	for u := 0; u < n; u++ {
+		set := asn.ChannelSet(sim.NodeID(u), 0)
+		seen := make(map[int]bool, c)
+		sorted := true
+		for i, ch := range set {
+			if seen[ch] {
+				t.Fatalf("node %d repeats channel %d", u, ch)
+			}
+			seen[ch] = true
+			if ch != i {
+				sorted = false
+			}
+		}
+		if !sorted {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Error("local labels left every node in sorted order; permutation not applied")
+	}
+}
+
+func TestPartitionedStructure(t *testing.T) {
+	const n, c, k = 6, 5, 2
+	asn, err := Partitioned(n, c, k, LocalLabels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := k + n*(c-k); asn.Channels() != want {
+		t.Errorf("C = %d, want %d", asn.Channels(), want)
+	}
+	// Every pair overlaps on exactly k channels.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if got := asn.Overlap(sim.NodeID(u), sim.NodeID(v)); got != k {
+				t.Errorf("overlap(%d,%d) = %d, want exactly %d", u, v, got, k)
+			}
+		}
+	}
+}
+
+func TestPartitionedKEqualsC(t *testing.T) {
+	// Degenerate case c == k: no private channels at all.
+	asn, err := Partitioned(4, 3, 3, GlobalLabels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if asn.Channels() != 3 {
+		t.Errorf("C = %d, want 3", asn.Channels())
+	}
+}
+
+func TestSharedCore(t *testing.T) {
+	const n, c, k, total = 10, 8, 3, 40
+	asn, err := SharedCore(n, c, k, total, LocalLabels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if asn.Channels() != total {
+		t.Errorf("C = %d, want %d", asn.Channels(), total)
+	}
+}
+
+func TestSharedCoreRejectsSmallC(t *testing.T) {
+	if _, err := SharedCore(4, 8, 2, 7, LocalLabels, 1); err == nil {
+		t.Error("C < c accepted")
+	}
+}
+
+func TestPairwiseDedicated(t *testing.T) {
+	const n, k = 4, 2
+	c := k*(n-1) + 3 // 9 channels per node, 3 private
+	asn, err := PairwiseDedicated(n, c, k, LocalLabels, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every pair overlaps on exactly k: pair channels are dedicated.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if got := asn.Overlap(sim.NodeID(u), sim.NodeID(v)); got != k {
+				t.Errorf("overlap(%d,%d) = %d, want exactly %d", u, v, got, k)
+			}
+		}
+	}
+	if want := k*n*(n-1)/2 + n*3; asn.Channels() != want {
+		t.Errorf("C = %d, want %d", asn.Channels(), want)
+	}
+}
+
+func TestPairwiseDedicatedRejectsSmallC(t *testing.T) {
+	if _, err := PairwiseDedicated(5, 3, 1, LocalLabels, 1); err == nil {
+		t.Error("c < k(n-1) accepted")
+	}
+}
+
+func TestRandomPool(t *testing.T) {
+	// c²/C = 256/32 = 8 >= k = 2 comfortably.
+	asn, err := RandomPool(6, 16, 2, 32, LocalLabels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPoolInfeasible(t *testing.T) {
+	// Overlap of at least 15 out of 16 channels from a pool of 64 is
+	// essentially impossible for a uniform draw; the generator must give up
+	// with a useful error.
+	_, err := RandomPool(8, 16, 15, 64, LocalLabels, 8)
+	if err == nil {
+		t.Fatal("infeasible RandomPool succeeded")
+	}
+	if !strings.Contains(err.Error(), "expected overlap") {
+		t.Errorf("error %q should explain the expected overlap", err)
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"zero nodes", mustErr(FullOverlap(0, 3, LocalLabels, 1))},
+		{"zero c", mustErr(FullOverlap(3, 0, LocalLabels, 1))},
+		{"k too big", mustErr(Partitioned(3, 2, 3, LocalLabels, 1))},
+		{"k zero", mustErr(Partitioned(3, 2, 0, LocalLabels, 1))},
+		{"bad label model", mustErr(Partitioned(3, 2, 1, LabelModel(0), 1))},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func mustErr(_ *Static, err error) error { return err }
+
+func TestValidateCatchesViolations(t *testing.T) {
+	bad := &Static{channels: 4, perNode: 2, minOverlap: 1, sets: [][]int{{0, 1}, {2, 3}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("disjoint sets passed a k=1 validation")
+	}
+	dup := &Static{channels: 4, perNode: 2, minOverlap: 1, sets: [][]int{{0, 0}, {0, 1}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate channel passed validation")
+	}
+	oob := &Static{channels: 2, perNode: 2, minOverlap: 1, sets: [][]int{{0, 5}, {0, 1}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range channel passed validation")
+	}
+	short := &Static{channels: 4, perNode: 3, minOverlap: 1, sets: [][]int{{0, 1}, {0, 1, 2}}}
+	if err := short.Validate(); err == nil {
+		t.Error("short set passed validation")
+	}
+}
+
+func TestGeneratorsPropertyQuick(t *testing.T) {
+	// Property: for arbitrary small parameters, every generator yields an
+	// assignment that passes Validate.
+	f := func(nRaw, cRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw%12) + 2
+		c := int(cRaw%10) + 1
+		k := int(kRaw)%c + 1
+		p, err := Partitioned(n, c, k, LocalLabels, seed)
+		if err != nil || p.Validate() != nil {
+			return false
+		}
+		s, err := SharedCore(n, c, k, c+8, GlobalLabels, seed)
+		if err != nil || s.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a, err := SharedCore(6, 8, 2, 24, LocalLabels, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedCore(6, 8, 2, 24, LocalLabels, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		sa, sb := a.ChannelSet(sim.NodeID(u), 0), b.ChannelSet(sim.NodeID(u), 0)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("node %d differs between identically seeded builds", u)
+			}
+		}
+	}
+	c, err := SharedCore(6, 8, 2, 24, LocalLabels, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := 0; u < 6 && same; u++ {
+		sa, sc := a.ChannelSet(sim.NodeID(u), 0), c.ChannelSet(sim.NodeID(u), 0)
+		for i := range sa {
+			if sa[i] != sc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments")
+	}
+}
+
+func TestLabelModelString(t *testing.T) {
+	if LocalLabels.String() != "local" || GlobalLabels.String() != "global" {
+		t.Error("LabelModel.String mismatch")
+	}
+	if LabelModel(0).String() != "invalid" {
+		t.Error("zero LabelModel should stringify as invalid")
+	}
+}
+
+func TestDynamicOverlapEverySlot(t *testing.T) {
+	const n, c, k, total = 6, 5, 2, 20
+	d, err := NewDynamic(n, c, k, total, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes() != n || d.Channels() != total || d.PerNode() != c || d.MinOverlap() != k {
+		t.Fatalf("dims = (%d,%d,%d,%d)", d.Nodes(), d.Channels(), d.PerNode(), d.MinOverlap())
+	}
+	for slot := 0; slot < 25; slot++ {
+		sets := make([][]int, n)
+		for u := 0; u < n; u++ {
+			set := d.ChannelSet(sim.NodeID(u), slot)
+			if len(set) != c {
+				t.Fatalf("slot %d node %d: %d channels, want %d", slot, u, len(set), c)
+			}
+			seen := make(map[int]bool, c)
+			for _, ch := range set {
+				if ch < 0 || ch >= total {
+					t.Fatalf("slot %d node %d: channel %d out of range", slot, u, ch)
+				}
+				if seen[ch] {
+					t.Fatalf("slot %d node %d: duplicate channel %d", slot, u, ch)
+				}
+				seen[ch] = true
+			}
+			sets[u] = append([]int(nil), set...)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if got := overlapSlices(sets[u], sets[v]); got < k {
+					t.Fatalf("slot %d: overlap(%d,%d) = %d < k=%d", slot, u, v, got, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicSetsActuallyChange(t *testing.T) {
+	d, err := NewDynamic(4, 6, 1, 30, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := append([]int(nil), d.ChannelSet(0, 0)...)
+	changed := false
+	for slot := 1; slot < 10 && !changed; slot++ {
+		b := d.ChannelSet(0, slot)
+		for i := range b {
+			if a[i] != b[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Error("dynamic assignment never changed node 0's set over 10 slots")
+	}
+}
+
+func TestDynamicDeterministicAcrossCachePattern(t *testing.T) {
+	d1, err := NewDynamic(4, 5, 2, 16, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDynamic(4, 5, 2, 16, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query d1 in slot order, d2 jumping around; slot 3 must agree.
+	_ = d1.ChannelSet(0, 0)
+	_ = d1.ChannelSet(0, 1)
+	_ = d1.ChannelSet(0, 2)
+	want := append([]int(nil), d1.ChannelSet(2, 3)...)
+	_ = d2.ChannelSet(1, 7)
+	got := d2.ChannelSet(2, 3)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("slot 3 node 2 differs under different query patterns: %v vs %v", want, got)
+		}
+	}
+}
+
+func TestDynamicRejectsBadParams(t *testing.T) {
+	if _, err := NewDynamic(3, 5, 2, 4, 1); err == nil {
+		t.Error("C < c accepted")
+	}
+	if _, err := NewDynamic(3, 5, 6, 20, 1); err == nil {
+		t.Error("k > c accepted")
+	}
+}
+
+func overlapSlices(a, b []int) int {
+	set := make(map[int]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	n := 0
+	for _, x := range b {
+		if _, ok := set[x]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package assign
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Dynamic is a per-slot re-randomized assignment modelling the dynamic
+// setting of Theorem 17 and the discussions in Sections 4 and 7: in every
+// slot each node's channel set is re-drawn, yet any pair of nodes still
+// overlaps on at least k channels (a fixed k-channel core survives every
+// re-draw). COGCAST runs over a Dynamic assignment unmodified; COGCOMP does
+// not (its later phases revisit channels), matching the paper.
+//
+// Channel sets are deterministic functions of (seed, slot, node), so runs
+// remain reproducible. Labels are always local: re-drawn sets arrive in a
+// fresh random order each slot.
+type Dynamic struct {
+	n, total, perNode, minOverlap int
+	core                          []int
+	pool                          []int
+	seed                          int64
+
+	cachedSlot int
+	cached     [][]int
+}
+
+var _ sim.Assignment = (*Dynamic)(nil)
+
+// NewDynamic builds a dynamic assignment over totalChannels channels with a
+// k-channel shared core; every slot each node re-draws its c−k non-core
+// channels uniformly from the remaining pool. Requires totalChannels >= c.
+func NewDynamic(n, c, k, totalChannels int, seed int64) (*Dynamic, error) {
+	if err := checkCommon(n, c, k, LocalLabels); err != nil {
+		return nil, err
+	}
+	if totalChannels < c {
+		return nil, fmt.Errorf("assign: C=%d must be at least c=%d", totalChannels, c)
+	}
+	perm := rng.New(seed, 0xd1a).Perm(totalChannels)
+	d := &Dynamic{
+		n:          n,
+		total:      totalChannels,
+		perNode:    c,
+		minOverlap: k,
+		core:       perm[:k],
+		pool:       perm[k:],
+		seed:       seed,
+		cachedSlot: -1,
+		cached:     make([][]int, n),
+	}
+	for u := range d.cached {
+		d.cached[u] = make([]int, c)
+	}
+	return d, nil
+}
+
+// Nodes returns n.
+func (d *Dynamic) Nodes() int { return d.n }
+
+// Channels returns C.
+func (d *Dynamic) Channels() int { return d.total }
+
+// PerNode returns c.
+func (d *Dynamic) PerNode() int { return d.perNode }
+
+// MinOverlap returns k.
+func (d *Dynamic) MinOverlap() int { return d.minOverlap }
+
+// ChannelSet returns the node's channel set for the slot, re-drawing all
+// nodes' sets when the slot changes. The engine queries all nodes for the
+// same slot before advancing, so the single-slot cache is always warm.
+func (d *Dynamic) ChannelSet(node sim.NodeID, slot int) []int {
+	if slot != d.cachedSlot {
+		d.fill(slot)
+	}
+	return d.cached[node]
+}
+
+func (d *Dynamic) fill(slot int) {
+	c, k := d.perNode, d.minOverlap
+	for u := 0; u < d.n; u++ {
+		r := rng.New(d.seed, int64(slot), int64(u), 0xd1b)
+		set := d.cached[u][:0]
+		set = append(set, d.core...)
+		if c > k {
+			idx := r.Perm(len(d.pool))[:c-k]
+			for _, j := range idx {
+				set = append(set, d.pool[j])
+			}
+		}
+		r.Shuffle(len(set), func(i, j int) { set[i], set[j] = set[j], set[i] })
+		d.cached[u] = set
+	}
+	d.cachedSlot = slot
+}

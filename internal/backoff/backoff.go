@@ -1,0 +1,91 @@
+// Package backoff validates the collision abstraction of Section 2
+// (footnote 4): the simulator assumes that when several nodes broadcast on
+// one channel, exactly one uniformly chosen message is delivered and every
+// broadcaster learns its outcome. The paper notes this behavior is
+// implementable by standard backoff "with poly-logarithmic cost": nodes
+// broadcast with exponentially decreasing probabilities; with high
+// probability some micro-slot has exactly one transmitter within O(log² n)
+// micro-slots, everyone else hears that message and aborts, and the lone
+// transmitter (having heard nothing) knows it succeeded.
+//
+// Resolve simulates that decay protocol directly at the micro-slot level,
+// so experiment E12 can measure the cost of one abstracted collision
+// resolution and confirm the O(log² n) shape.
+package backoff
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cogradio/crn/internal/rng"
+)
+
+// Result reports one contention resolution.
+type Result struct {
+	// Winner is the index (0..m-1) of the contender whose message was
+	// delivered, or -1 on failure.
+	Winner int
+	// MicroSlots is the number of micro-slots consumed.
+	MicroSlots int
+	// Succeeded reports whether a message was delivered within the budget.
+	Succeeded bool
+}
+
+// MaxEpochs bounds the number of decay epochs before Resolve gives up; the
+// per-epoch success probability is at least a constant, so failures across
+// dozens of epochs are astronomically unlikely for any m <= nUpper.
+const MaxEpochs = 64
+
+// Resolve runs the decay protocol among m contenders, where nUpper is the
+// commonly known upper bound on network size that sets the epoch length
+// L = ceil(lg nUpper)+1: in micro-slot j of an epoch, each surviving
+// contender transmits with probability 2^-j. A micro-slot with exactly one
+// transmitter delivers that contender's message and ends the protocol.
+func Resolve(m, nUpper int, seed int64) (Result, error) {
+	if m < 1 {
+		return Result{}, fmt.Errorf("backoff: m=%d contenders, need at least 1", m)
+	}
+	if nUpper < m {
+		return Result{}, fmt.Errorf("backoff: upper bound n=%d below contender count m=%d", nUpper, m)
+	}
+	r := rng.New(seed, int64(m), 0xb0ff)
+	epochLen := EpochLength(nUpper)
+	slots := 0
+	for epoch := 0; epoch < MaxEpochs; epoch++ {
+		p := 1.0
+		for j := 0; j < epochLen; j++ {
+			slots++
+			sender := -1
+			count := 0
+			for i := 0; i < m; i++ {
+				if r.Float64() < p {
+					count++
+					sender = i
+				}
+			}
+			if count == 1 {
+				return Result{Winner: sender, MicroSlots: slots, Succeeded: true}, nil
+			}
+			p /= 2
+		}
+	}
+	return Result{Winner: -1, MicroSlots: slots, Succeeded: false}, nil
+}
+
+// EpochLength returns the decay epoch length ceil(lg n)+1 for the given
+// network-size upper bound.
+func EpochLength(nUpper int) int {
+	if nUpper < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(nUpper)))) + 1
+}
+
+// TheoreticalBound returns the O(log² n) micro-slot budget within which the
+// decay protocol succeeds w.h.p. — EpochLength(n) micro-slots per epoch
+// times O(log n) epochs (each epoch succeeds with at least constant
+// probability). The constant 4 absorbs that per-epoch probability.
+func TheoreticalBound(nUpper int) int {
+	l := EpochLength(nUpper)
+	return 4 * l * l
+}

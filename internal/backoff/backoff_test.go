@@ -1,0 +1,141 @@
+package backoff
+
+import (
+	"testing"
+)
+
+func TestResolveSingleContender(t *testing.T) {
+	res, err := Resolve(1, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded || res.Winner != 0 {
+		t.Fatalf("single contender result %+v", res)
+	}
+	if res.MicroSlots != 1 {
+		t.Errorf("single contender used %d micro-slots, want 1 (p=1 in slot one)", res.MicroSlots)
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	if _, err := Resolve(0, 10, 1); err == nil {
+		t.Error("zero contenders accepted")
+	}
+	if _, err := Resolve(20, 10, 1); err == nil {
+		t.Error("m > nUpper accepted")
+	}
+}
+
+func TestResolveAlwaysSucceedsWithinBound(t *testing.T) {
+	const nUpper = 1024
+	bound := TheoreticalBound(nUpper)
+	for _, m := range []int{1, 2, 3, 7, 32, 200, 1024} {
+		failures, over := 0, 0
+		const trials = 200
+		for trial := 0; trial < trials; trial++ {
+			res, err := Resolve(m, nUpper, int64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Succeeded {
+				failures++
+				continue
+			}
+			if res.Winner < 0 || res.Winner >= m {
+				t.Fatalf("m=%d: invalid winner %d", m, res.Winner)
+			}
+			if res.MicroSlots > bound {
+				over++
+			}
+		}
+		if failures > 0 {
+			t.Errorf("m=%d: %d/%d resolutions failed outright", m, failures, trials)
+		}
+		// "With high probability" — allow a tiny tail beyond the bound.
+		if over > trials/50 {
+			t.Errorf("m=%d: %d/%d resolutions exceeded the O(log² n) bound %d", m, over, trials, bound)
+		}
+	}
+}
+
+func TestMicroSlotsGrowPolylog(t *testing.T) {
+	// Mean micro-slots for m = nUpper contenders should grow like log²,
+	// i.e. far slower than linearly: quadrupling n must not double cost.
+	mean := func(n int) float64 {
+		total := 0
+		const trials = 300
+		for trial := 0; trial < trials; trial++ {
+			res, err := Resolve(n, n, int64(trial)*7+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.MicroSlots
+		}
+		return float64(total) / trials
+	}
+	m256, m4096 := mean(256), mean(4096)
+	if m4096 > 3*m256 {
+		t.Errorf("mean micro-slots jumped from %.1f (n=256) to %.1f (n=4096); not polylog", m256, m4096)
+	}
+}
+
+func TestWinnerSpreadsAcrossContenders(t *testing.T) {
+	// The abstraction assumes the delivered message is uniform among
+	// contenders; decay is approximately symmetric, so over many trials
+	// every contender should win a nontrivial share.
+	const m, trials = 4, 2000
+	wins := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		res, err := Resolve(m, 16, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Succeeded {
+			wins[res.Winner]++
+		}
+	}
+	for i, w := range wins {
+		if w < trials/m/2 {
+			t.Errorf("contender %d won only %d/%d times; decay should be near-uniform", i, w, trials)
+		}
+	}
+}
+
+func TestEpochLength(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1},
+		{2, 2},
+		{1024, 11},
+		{1000, 11},
+	}
+	for _, c := range cases {
+		if got := EpochLength(c.n); got != c.want {
+			t.Errorf("EpochLength(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTheoreticalBoundMonotone(t *testing.T) {
+	prev := 0
+	for _, n := range []int{2, 16, 256, 4096} {
+		b := TheoreticalBound(n)
+		if b <= prev {
+			t.Errorf("TheoreticalBound(%d) = %d not increasing", n, b)
+		}
+		prev = b
+	}
+}
+
+func TestResolveDeterministicBySeed(t *testing.T) {
+	a, err := Resolve(17, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve(17, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,111 @@
+package backoff
+
+import (
+	"math"
+
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// CostObserver measures what the collision abstraction would cost at the
+// radio level. A real implementation replaces every abstract slot with a
+// fixed micro-slot window W in which each contended channel runs the decay
+// protocol; W must be fixed network-wide (channels cannot end their windows
+// early without desynchronizing the slot clock), so the implementable W is
+// the worst per-slot, per-channel resolution cost. The observer replays a
+// decay resolution for every contended channel of every slot and tracks the
+// distribution of the per-slot maximum, giving implementers the data to
+// pick W far below the 4(lg n + 1)² worst-case budget.
+type CostObserver struct {
+	nUpper int
+	seed   int64
+
+	slots     int
+	totalMax  int64
+	worst     int
+	histogram map[int]int
+	failures  int
+}
+
+var _ sim.Observer = (*CostObserver)(nil)
+
+// NewCostObserver builds an observer for a network whose size upper bound
+// (the decay epoch parameter) is nUpper.
+func NewCostObserver(nUpper int, seed int64) *CostObserver {
+	return &CostObserver{nUpper: nUpper, seed: seed, histogram: make(map[int]int)}
+}
+
+// OnSlot implements sim.Observer.
+func (o *CostObserver) OnSlot(slot int, outcomes []sim.ChannelOutcome) {
+	o.slots++
+	worst := 1 // an uncontended slot still costs one micro-slot
+	for _, oc := range outcomes {
+		m := len(oc.Broadcasters)
+		if m == 0 {
+			continue
+		}
+		res, err := Resolve(m, o.nUpper, rng.Derive(o.seed, int64(slot), int64(oc.Channel), 0xc057))
+		if err != nil || !res.Succeeded {
+			o.failures++
+			continue
+		}
+		if res.MicroSlots > worst {
+			worst = res.MicroSlots
+		}
+	}
+	o.totalMax += int64(worst)
+	o.histogram[worst]++
+	if worst > o.worst {
+		o.worst = worst
+	}
+}
+
+// Cost summarizes the observed micro-slot requirements.
+type Cost struct {
+	// Slots is the number of abstract slots observed.
+	Slots int
+	// MeanWindow is the mean per-slot micro-slot requirement (the cost if
+	// windows could adapt per slot, a lower bound for any implementation).
+	MeanWindow float64
+	// RequiredWindow is the largest per-slot requirement seen — the fixed
+	// window W that would have sufficed for this entire execution.
+	RequiredWindow int
+	// Budget is the theoretical worst-case window 4(lg n + 1)².
+	Budget int
+	// Failures counts resolutions that exhausted the decay epochs (none
+	// are expected).
+	Failures int
+}
+
+// Snapshot returns the cost summary so far.
+func (o *CostObserver) Snapshot() Cost {
+	c := Cost{
+		Slots:          o.slots,
+		RequiredWindow: o.worst,
+		Budget:         TheoreticalBound(o.nUpper),
+		Failures:       o.failures,
+	}
+	if o.slots > 0 {
+		c.MeanWindow = float64(o.totalMax) / float64(o.slots)
+	}
+	return c
+}
+
+// WindowQuantile returns the q-quantile of the per-slot required window.
+func (o *CostObserver) WindowQuantile(q float64) int {
+	if o.slots == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(o.slots)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for w := 1; w <= o.worst; w++ {
+		cum += o.histogram[w]
+		if cum >= target {
+			return w
+		}
+	}
+	return o.worst
+}

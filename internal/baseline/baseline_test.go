@@ -1,0 +1,152 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/baseline"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestRendezvousBroadcastCompletes(t *testing.T) {
+	const n, c, k = 24, 6, 2
+	asn, err := assign.SharedCore(n, c, k, 18, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.RendezvousBroadcast(asn, 0, "msg", 1, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("incomplete after %d slots", res.Slots)
+	}
+}
+
+func TestRendezvousBroadcastSlowerThanCogcast(t *testing.T) {
+	// The paper's headline: epidemic relaying beats pure rendezvous by
+	// roughly a factor of c when n >= c. Compare medians over a few seeds.
+	const n, c, k, trials = 64, 16, 2, 5
+	var rdvTotal, cogTotal int
+	for seed := int64(0); seed < trials; seed++ {
+		asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdv, err := baseline.RendezvousBroadcast(asn, 0, "m", seed, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rdv.AllInformed {
+			t.Fatalf("seed %d: rendezvous incomplete", seed)
+		}
+		cog, err := cogcast.Run(asn, 0, "m", seed, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 1000000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cog.AllInformed {
+			t.Fatalf("seed %d: cogcast incomplete", seed)
+		}
+		rdvTotal += rdv.Slots
+		cogTotal += cog.Slots
+	}
+	if rdvTotal <= 2*cogTotal {
+		t.Errorf("rendezvous total %d should be well above cogcast total %d", rdvTotal, cogTotal)
+	}
+}
+
+func TestRendezvousAggregationCollectsAllValues(t *testing.T) {
+	const n = 16
+	asn, err := assign.FullOverlap(n, 4, assign.LocalLabels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]int64, n)
+	for i := range inputs {
+		inputs[i] = int64(i * 11)
+	}
+	res, err := baseline.RendezvousAggregation(asn, 0, inputs, 2, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete after %d slots: %d values", res.Slots, len(res.Values))
+	}
+	for i := 1; i < n; i++ {
+		if got := res.Values[sim.NodeID(i)]; got != inputs[i] {
+			t.Errorf("source heard %d from node %d, want %d", got, i, inputs[i])
+		}
+	}
+	if _, ok := res.Values[0]; ok {
+		t.Error("source recorded a value from itself")
+	}
+}
+
+func TestHoppingTogetherGlobalLabels(t *testing.T) {
+	// The Section 6 setup: shared k-channel core, private remainders,
+	// global labels. The lockstep scan must finish within one pass of the
+	// spectrum (all nodes meet the first time the scan hits a core channel).
+	const n, c, k = 8, 6, 2
+	asn, err := assign.Partitioned(n, c, k, assign.GlobalLabels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.HoppingTogether(asn, 0, "m", 3, 10*asn.Channels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("incomplete after %d slots", res.Slots)
+	}
+	if res.Slots > asn.Channels() {
+		t.Errorf("took %d slots, want at most one spectrum pass (C=%d)", res.Slots, asn.Channels())
+	}
+}
+
+func TestHoppingTogetherBudgetRunsOut(t *testing.T) {
+	asn, err := assign.Partitioned(4, 8, 1, assign.GlobalLabels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.HoppingTogether(asn, 0, "m", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllInformed && res.Slots > 1 {
+		t.Error("budget not respected")
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	asn, err := assign.FullOverlap(4, 2, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.RendezvousBroadcast(asn, 7, "m", 1, 10); err == nil {
+		t.Error("bad source accepted by RendezvousBroadcast")
+	}
+	if _, err := baseline.RendezvousAggregation(asn, 7, make([]int64, 4), 1, 10); err == nil {
+		t.Error("bad source accepted by RendezvousAggregation")
+	}
+	if _, err := baseline.RendezvousAggregation(asn, 0, make([]int64, 2), 1, 10); err == nil {
+		t.Error("bad input length accepted by RendezvousAggregation")
+	}
+	if _, err := baseline.HoppingTogether(asn, -1, "m", 1, 10); err == nil {
+		t.Error("bad source accepted by HoppingTogether")
+	}
+}
+
+func TestRendezvousBroadcastBudget(t *testing.T) {
+	asn, err := assign.Partitioned(16, 8, 1, assign.LocalLabels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.RendezvousBroadcast(asn, 0, "m", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots > 3 {
+		t.Errorf("ran %d slots past a 3-slot budget", res.Slots)
+	}
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// scanNode is the canonical deterministic broadcaster used to demonstrate
+// Theorem 17: every node sweeps its local channel indices in order
+// (slot mod c); informed nodes broadcast, uninformed nodes listen. In a
+// static network this eventually succeeds; against the AntiScan adversary
+// the source provably never transmits on a shared channel, so the
+// broadcast never begins.
+type scanNode struct {
+	view     sim.NodeView
+	informed bool
+	body     sim.Message
+}
+
+var _ sim.Protocol = (*scanNode)(nil)
+
+func (n *scanNode) Step(slot int) sim.Action {
+	ch := slot % n.view.NumChannels(slot)
+	if n.informed {
+		return sim.Broadcast(ch, payload{Body: n.body})
+	}
+	return sim.Listen(ch)
+}
+
+func (n *scanNode) Deliver(_ int, ev sim.Event) {
+	if ev.Kind != sim.EvReceived || n.informed {
+		return
+	}
+	if p, ok := ev.Msg.(payload); ok {
+		n.informed = true
+		n.body = p.Body
+	}
+}
+
+func (n *scanNode) Done() bool { return false }
+
+// ScanResult reports a deterministic-scan broadcast run.
+type ScanResult struct {
+	Slots    int
+	Informed int
+	Complete bool
+}
+
+// DeterministicScan runs the scanning broadcast for up to maxSlots slots
+// and reports how many nodes ended up informed. Its per-slot channel index
+// is slot mod c — the sequence assign.NewAntiScan predicts by default.
+func DeterministicScan(asn sim.Assignment, source sim.NodeID, body sim.Message, seed int64, maxSlots int) (*ScanResult, error) {
+	n := asn.Nodes()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("baseline: source %d outside [0,%d)", source, n)
+	}
+	nodes := make([]*scanNode, n)
+	protos := make([]sim.Protocol, n)
+	for i := range nodes {
+		nodes[i] = &scanNode{
+			view:     sim.View(asn, sim.NodeID(i)),
+			informed: sim.NodeID(i) == source,
+			body:     body,
+		}
+		protos[i] = nodes[i]
+	}
+	eng, err := sim.NewEngine(asn, protos, seed)
+	if err != nil {
+		return nil, err
+	}
+	informed := func() int {
+		count := 0
+		for _, nd := range nodes {
+			if nd.informed {
+				count++
+			}
+		}
+		return count
+	}
+	if _, err := eng.RunWhile(maxSlots, func() bool { return informed() < n }); err != nil && !errors.Is(err, sim.ErrMaxSlots) {
+		return nil, err
+	}
+	return &ScanResult{Slots: eng.Slot(), Informed: informed(), Complete: informed() == n}, nil
+}

@@ -1,0 +1,112 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/baseline"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestDeterministicScanCompletesOnStaticNetwork(t *testing.T) {
+	// On a static full-overlap network with global labels the scan is
+	// perfectly aligned: the source reaches everyone the first slot it
+	// broadcasts alone... which is slot 0 (all others listen on the same
+	// index). One slot suffices.
+	asn, err := assign.FullOverlap(8, 4, assign.GlobalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.DeterministicScan(asn, 0, "m", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("scan incomplete: %+v", res)
+	}
+	if res.Slots != 1 {
+		t.Errorf("aligned scan took %d slots, want 1", res.Slots)
+	}
+}
+
+// permAligned is a two-node assignment whose local label orders are exact
+// reverses of each other: lockstep scanning never aligns.
+type permAligned struct{ sets [][]int }
+
+func (p *permAligned) Nodes() int                           { return len(p.sets) }
+func (p *permAligned) Channels() int                        { return 2 }
+func (p *permAligned) PerNode() int                         { return 2 }
+func (p *permAligned) MinOverlap() int                      { return 2 }
+func (p *permAligned) ChannelSet(n sim.NodeID, _ int) []int { return p.sets[n] }
+
+func TestDeterministicScanMayStallEvenStatically(t *testing.T) {
+	// Even in a *static* network, local labels can permanently misalign a
+	// lockstep scan: with orders {0,1} and {1,0}, slot t puts the two
+	// nodes on different physical channels for every t. This is why naive
+	// determinism fails in this model and the rendezvous literature needs
+	// carefully constructed schedules — and why COGCAST just randomizes.
+	asn := &permAligned{sets: [][]int{{0, 1}, {1, 0}}}
+	res, err := baseline.DeterministicScan(asn, 0, "m", 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 1 {
+		t.Fatalf("misaligned scan informed %d nodes, expected the source only", res.Informed)
+	}
+	// COGCAST on the identical assignment completes almost immediately.
+	cres, err := cogcast.Run(asn, 0, "m", 2, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.AllInformed {
+		t.Fatal("COGCAST incomplete on the two-node network")
+	}
+}
+
+func TestDeterministicScanStarvedByAntiScan(t *testing.T) {
+	// Theorem 17's demonstration: against the label-rearranging adversary
+	// the scanning source never transmits on a shared channel, so nobody
+	// else is ever informed — for any budget.
+	const n, c, k = 8, 6, 2
+	adv, err := assign.NewAntiScan(n, c, k, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := baseline.DeterministicScan(adv, 0, "m", 3, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 1 {
+		t.Fatalf("adversary leaked: %d nodes informed", res.Informed)
+	}
+	if res.Complete {
+		t.Fatal("scan completed against the adversary")
+	}
+}
+
+func TestCogcastBeatsAntiScan(t *testing.T) {
+	// The same adversary cannot predict coin flips: COGCAST completes.
+	const n, c, k = 8, 6, 2
+	adv, err := assign.NewAntiScan(n, c, k, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cogcast.Run(adv, 0, "m", 4, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("COGCAST incomplete against AntiScan after %d slots", res.Slots)
+	}
+}
+
+func TestDeterministicScanValidation(t *testing.T) {
+	asn, err := assign.FullOverlap(4, 2, assign.GlobalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.DeterministicScan(asn, 9, "m", 1, 10); err == nil {
+		t.Error("bad source accepted")
+	}
+}

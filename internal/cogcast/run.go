@@ -1,0 +1,106 @@
+package cogcast
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Result reports one COGCAST execution.
+type Result struct {
+	// Slots is the number of slots executed.
+	Slots int
+	// AllInformed reports whether every node held the message at the end.
+	AllInformed bool
+	// Parents[v] is the node that informed v (sim.None for the source and
+	// for uninformed nodes). This is the distribution tree of Section 5.
+	Parents []sim.NodeID
+	// InformedSlots[v] is the slot in which v was first informed (-1 for
+	// the source and uninformed nodes).
+	InformedSlots []int
+	// Trajectory[s] is the number of informed nodes after slot s. Only
+	// recorded when requested.
+	Trajectory []int
+}
+
+// RunConfig configures the convenience runner.
+type RunConfig struct {
+	// MaxSlots bounds the execution. Zero means the theoretical bound
+	// SlotBound(n, c, k, DefaultKappa).
+	MaxSlots int
+	// Trajectory requests per-slot informed counts.
+	Trajectory bool
+	// UntilAllInformed stops the run as soon as every node is informed
+	// (measuring completion time); otherwise the run uses the full slot
+	// budget (measuring the fixed-horizon protocol).
+	UntilAllInformed bool
+	// Collisions selects the engine's contention semantics (default: the
+	// paper's uniform-winner model). The stronger all-delivered model of
+	// footnote 3 is available for ablations.
+	Collisions sim.CollisionModel
+	// Observer, when non-nil, receives per-slot channel outcomes (e.g. a
+	// metrics.Collector).
+	Observer sim.Observer
+}
+
+// Run executes COGCAST over the assignment with the given source node and
+// returns the outcome. It is the harness used by experiments, baselines
+// comparisons, and the public API.
+func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64, cfg RunConfig) (*Result, error) {
+	n := asn.Nodes()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("cogcast: source %d outside [0,%d)", source, n)
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = SlotBound(n, asn.PerNode(), asn.MinOverlap(), DefaultKappa)
+	}
+
+	nodes := make([]*Node, n)
+	protos := make([]sim.Protocol, n)
+	for i := range nodes {
+		nodes[i] = New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, payload, seed)
+		protos[i] = nodes[i]
+	}
+	opts := []sim.Option{sim.WithCollisionModel(cfg.Collisions)}
+	if cfg.Observer != nil {
+		opts = append(opts, sim.WithObserver(cfg.Observer))
+	}
+	eng, err := sim.NewEngine(asn, protos, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	informed := func() int {
+		count := 0
+		for _, nd := range nodes {
+			if nd.Informed() {
+				count++
+			}
+		}
+		return count
+	}
+
+	res := &Result{}
+	for eng.Slot() < maxSlots {
+		if cfg.UntilAllInformed && informed() == n {
+			break
+		}
+		if err := eng.RunSlot(); err != nil {
+			return nil, err
+		}
+		if cfg.Trajectory {
+			res.Trajectory = append(res.Trajectory, informed())
+		}
+	}
+
+	res.Slots = eng.Slot()
+	res.AllInformed = informed() == n
+	res.Parents = make([]sim.NodeID, n)
+	res.InformedSlots = make([]int, n)
+	for i, nd := range nodes {
+		res.Parents[i] = nd.Parent()
+		res.InformedSlots[i] = nd.InformedSlot()
+	}
+	return res, nil
+}

@@ -1,0 +1,559 @@
+// Package cogcomp implements COGCOMP, the data-aggregation protocol of
+// Section 5. A designated source learns the aggregate of every node's input
+// in O((c/k)·max{1,c/n}·lg n + n) slots w.h.p. (Theorem 10).
+//
+// The protocol has four phases, all driven off the global slot number:
+//
+//	Phase 1 [0, l):        COGCAST disseminates INIT; each node records its
+//	                       full action log. The "first informed by" relation
+//	                       implicitly builds a distribution tree.
+//	Phase 2 [l, l+n):      census. Each non-source node broadcasts ⟨id, r⟩
+//	                       on the channel where it was informed until it
+//	                       succeeds, then listens. Everyone on a channel
+//	                       learns the channel's roster: cluster sizes and
+//	                       the mediator (smallest id in the latest cluster).
+//	Phase 3 [l+n, 2l+n):   rewind. Phase one is replayed backwards; cluster
+//	                       members report their cluster's size, so each
+//	                       informer learns which clusters it created.
+//	Phase 4 [2l+n, ...):   mediated convergecast in 3-slot steps: the
+//	                       mediator announces a cluster, one member passes
+//	                       its subtree aggregate to its parent, the parent
+//	                       acks. O(n) steps total.
+//
+// Phases 2–4 are fully deterministic given the phase-1 transcript — the
+// only randomness in COGCOMP is COGCAST's channel hopping.
+package cogcomp
+
+import (
+	"sort"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// rosterEntry is one observed phase-two success on the node's channel.
+type rosterEntry struct {
+	id sim.NodeID
+	r  int
+}
+
+// medCluster is a cluster on the mediator's channel, with full membership
+// (reconstructed from the phase-two roster).
+type medCluster struct {
+	r       int
+	members map[sim.NodeID]bool
+}
+
+// infCluster is a cluster this node informed (learned in phase three).
+type infCluster struct {
+	r    int // phase-one slot in which the cluster was informed
+	ch   int // local channel index the informing broadcast used
+	size int
+}
+
+// Node is one COGCOMP participant. It implements sim.Protocol.
+type Node struct {
+	id     sim.NodeID
+	n      int
+	l      int // phase-one length
+	source bool
+	f      aggfunc.Func
+	input  int64
+
+	cast *cogcast.Node
+
+	p2start, p3start, p4start int
+
+	// Captured from the embedded COGCAST node when phase two begins.
+	p2init   bool
+	informed bool
+	r0       int // slot of first information (-1 for source/uninformed)
+	ch0      int // local channel index of the informed channel
+	parent   sim.NodeID
+
+	// Phase two state.
+	censusDone bool
+	roster     []rosterEntry
+
+	// Derived at the start of phase three.
+	p3init      bool
+	clusterSize int
+	isMediator  bool
+	medClusters []medCluster // descending r
+
+	// Phase three harvest.
+	collected []infCluster
+
+	// Phase four state.
+	p4init     bool
+	acc        aggfunc.Value
+	idx        int        // current cluster being collected
+	got        int        // values received for collected[idx]
+	pendingAck sim.NodeID // sender to ack in slot three
+	announced  int        // r' heard (or self-announced) this step
+	ownSent    bool       // this node's value was acked by its parent
+	medIdx     int        // current mediator cluster
+	medAcked   map[sim.NodeID]bool
+
+	maxMsgSize int
+	done       bool
+
+	// Multi-round session state (see session.go). roundSteps == 0 means the
+	// classic single-round protocol.
+	rounds        []int64 // per-round inputs; index 0 == input
+	roundSteps    int     // steps per round
+	round         int
+	roundFinished bool
+	results       []aggfunc.Value // source only: aggregate per round
+	completeRound []bool          // source only: round finished in budget
+	finishSteps   []int           // source only: step within round at finish
+	stepInRound   int
+}
+
+var _ sim.Protocol = (*Node)(nil)
+
+// New creates a COGCOMP node. All nodes must agree on n (the network size)
+// and phase1Len (computed with PhaseOneLength). input is the node's datum;
+// f the associative aggregate to compute. The source initiates the
+// broadcast and ultimately holds the network-wide aggregate.
+func New(view sim.NodeView, source bool, n, phase1Len int, input int64, f aggfunc.Func, seed int64) *Node {
+	nd := &Node{
+		id:         view.ID(),
+		n:          n,
+		l:          phase1Len,
+		source:     source,
+		f:          f,
+		input:      input,
+		cast:       cogcast.New(view, source, initPayload{}, seed, cogcast.WithRecording()),
+		p2start:    phase1Len,
+		p3start:    phase1Len + n,
+		p4start:    2*phase1Len + n,
+		r0:         -1,
+		parent:     sim.None,
+		pendingAck: sim.None,
+		announced:  -1,
+	}
+	return nd
+}
+
+// PhaseOneLength returns the phase-one slot count all nodes must share:
+// COGCAST's theoretical bound for the network parameters.
+func PhaseOneLength(n, c, k int, kappa float64) int {
+	return cogcast.SlotBound(n, c, k, kappa)
+}
+
+// Step implements sim.Protocol.
+func (nd *Node) Step(slot int) sim.Action {
+	switch {
+	case slot < nd.p2start:
+		return nd.cast.Step(slot)
+	case slot < nd.p3start:
+		nd.initPhase2()
+		return nd.stepPhase2()
+	case slot < nd.p4start:
+		nd.initPhase3()
+		return nd.stepPhase3(slot)
+	default:
+		nd.initPhase4()
+		return nd.stepPhase4(slot)
+	}
+}
+
+// Deliver implements sim.Protocol.
+func (nd *Node) Deliver(slot int, ev sim.Event) {
+	switch {
+	case slot < nd.p2start:
+		nd.cast.Deliver(slot, ev)
+	case slot < nd.p3start:
+		nd.deliverPhase2(ev)
+	case slot < nd.p4start:
+		nd.deliverPhase3(slot, ev)
+	default:
+		nd.deliverPhase4(slot, ev)
+	}
+}
+
+// Done implements sim.Protocol.
+func (nd *Node) Done() bool { return nd.done }
+
+// --- Phase 2: census -------------------------------------------------------
+
+func (nd *Node) initPhase2() {
+	if nd.p2init {
+		return
+	}
+	nd.p2init = true
+	nd.informed = nd.cast.Informed()
+	nd.r0 = nd.cast.InformedSlot()
+	nd.ch0 = nd.cast.InformedChannel()
+	nd.parent = nd.cast.Parent()
+	if !nd.source && !nd.informed {
+		// The w.h.p. event failed for this node: it cannot participate in
+		// aggregation. Withdraw; the run will be reported incomplete.
+		nd.done = true
+	}
+}
+
+func (nd *Node) stepPhase2() sim.Action {
+	if nd.source || !nd.informed {
+		// The source belongs to no cluster and needs no census.
+		return sim.Idle()
+	}
+	if !nd.censusDone {
+		return sim.Broadcast(nd.ch0, censusMsg{ID: nd.id, R: nd.r0})
+	}
+	return sim.Listen(nd.ch0)
+}
+
+func (nd *Node) deliverPhase2(ev sim.Event) {
+	switch ev.Kind {
+	case sim.EvSendSucceeded:
+		nd.censusDone = true
+		nd.roster = append(nd.roster, rosterEntry{id: nd.id, r: nd.r0})
+	case sim.EvSendFailed, sim.EvReceived:
+		if m, ok := ev.Msg.(censusMsg); ok {
+			nd.roster = append(nd.roster, rosterEntry{id: m.ID, r: m.R})
+		}
+	}
+}
+
+// --- Phase 3: rewind -------------------------------------------------------
+
+func (nd *Node) initPhase3() {
+	if nd.p3init {
+		return
+	}
+	nd.p3init = true
+	if nd.source || !nd.informed {
+		return
+	}
+	// Cluster size: entries in the roster sharing this node's informed slot
+	// (the node's own successful census is in the roster too).
+	byR := make(map[int][]sim.NodeID)
+	rmax := -1
+	for _, e := range nd.roster {
+		byR[e.r] = append(byR[e.r], e.id)
+		if e.r > rmax {
+			rmax = e.r
+		}
+	}
+	nd.clusterSize = len(byR[nd.r0])
+	// Mediator: smallest id in the latest cluster on this channel.
+	if nd.r0 == rmax {
+		min := nd.id
+		for _, id := range byR[rmax] {
+			if id < min {
+				min = id
+			}
+		}
+		nd.isMediator = min == nd.id
+	}
+	if nd.isMediator {
+		rs := make([]int, 0, len(byR))
+		for r := range byR {
+			rs = append(rs, r)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(rs)))
+		for _, r := range rs {
+			members := make(map[sim.NodeID]bool, len(byR[r]))
+			for _, id := range byR[r] {
+				members[id] = true
+			}
+			nd.medClusters = append(nd.medClusters, medCluster{r: r, members: members})
+		}
+		nd.medAcked = make(map[sim.NodeID]bool)
+	}
+}
+
+// rewoundSlot maps a phase-three slot to the phase-one slot it replays:
+// phase-three slot i (0-based) rewinds phase-one slot l-1-i.
+func (nd *Node) rewoundSlot(slot int) int {
+	return nd.l - 1 - (slot - nd.p3start)
+}
+
+func (nd *Node) stepPhase3(slot int) sim.Action {
+	j := nd.rewoundSlot(slot)
+	recs := nd.cast.Records()
+	if j < 0 || j >= len(recs) {
+		return sim.Idle()
+	}
+	rec := recs[j]
+	switch {
+	case rec.Op == sim.OpBroadcast && rec.SendSucceeded:
+		// This node informed cluster (j, ch) — if the cluster is nonempty
+		// its members report their size now.
+		return sim.Listen(rec.Channel)
+	case rec.Op == sim.OpListen && rec.FirstInformed:
+		return sim.Broadcast(rec.Channel, rewindMsg{R: nd.r0, Size: nd.clusterSize})
+	default:
+		// Every other node retunes to the rewound channel but has no role;
+		// staying off the air is observably identical and cheaper.
+		return sim.Idle()
+	}
+}
+
+func (nd *Node) deliverPhase3(slot int, ev sim.Event) {
+	if ev.Kind != sim.EvReceived {
+		return // cluster-mates' wins and own win carry no new information
+	}
+	m, ok := ev.Msg.(rewindMsg)
+	if !ok {
+		return
+	}
+	j := nd.rewoundSlot(slot)
+	recs := nd.cast.Records()
+	if j < 0 || j >= len(recs) {
+		return
+	}
+	nd.collected = append(nd.collected, infCluster{r: m.R, ch: recs[j].Channel, size: m.Size})
+}
+
+// --- Phase 4: mediated convergecast -----------------------------------------
+
+func (nd *Node) initPhase4() {
+	if nd.p4init {
+		return
+	}
+	nd.p4init = true
+	// Clusters are collected in descending slot order: children informed
+	// later sit deeper in the section schedule and must aggregate first.
+	sort.Slice(nd.collected, func(i, j int) bool { return nd.collected[i].r > nd.collected[j].r })
+	nd.acc = nd.f.Leaf(nd.id, nd.input)
+}
+
+// mediatorActive reports whether the node's mediator duties have begun: a
+// mediator runs as a normal node until it starts sending values to its
+// parent (i.e. it has finished collecting), then coordinates its channel
+// until every cluster there has been aggregated.
+func (nd *Node) mediatorActive() bool {
+	return nd.isMediator && nd.idx >= len(nd.collected) && nd.medIdx < len(nd.medClusters)
+}
+
+// startStep advances cluster pointers and recomputes the node's role at the
+// first slot of each 3-slot step.
+func (nd *Node) startStep() {
+	nd.pendingAck = sim.None
+	nd.announced = -1
+	if nd.idx < len(nd.collected) && nd.got >= nd.collected[nd.idx].size {
+		nd.idx++
+		nd.got = 0
+	}
+	// Termination checks.
+	if nd.idx >= len(nd.collected) {
+		if nd.source {
+			nd.finishRound()
+			return
+		}
+		if nd.ownSent && !nd.mediatorActive() {
+			nd.finishRound()
+		}
+	}
+}
+
+// finishRound marks the node's work in the current round complete. In the
+// classic single-round protocol the node terminates; in a session it idles
+// until the next round boundary, terminating only after the last round.
+func (nd *Node) finishRound() {
+	if nd.roundSteps == 0 {
+		nd.done = true
+		return
+	}
+	if !nd.roundFinished {
+		nd.roundFinished = true
+		if nd.source {
+			nd.results[nd.round] = nd.acc
+			nd.completeRound[nd.round] = true
+			nd.finishSteps[nd.round] = nd.stepInRound
+		}
+	}
+	if nd.round == len(nd.rounds)-1 {
+		nd.done = true
+	}
+}
+
+// resetRound re-arms the phase-four state machine for round r using the
+// node's round-r input. The tree, census and informer structures from
+// phases one to three are reused untouched — that is the whole point of a
+// session.
+func (nd *Node) resetRound(r int) {
+	// Settle the previous round: its final ack may have landed in the
+	// window's very last step, after that step's startStep already ran, so
+	// re-check completion before declaring the round short.
+	if nd.source && !nd.roundFinished && nd.round < len(nd.results) {
+		if nd.idx < len(nd.collected) && nd.got >= nd.collected[nd.idx].size {
+			nd.idx++
+			nd.got = 0
+		}
+		nd.results[nd.round] = nd.acc
+		if nd.idx >= len(nd.collected) {
+			nd.completeRound[nd.round] = true
+			nd.finishSteps[nd.round] = nd.roundSteps - 1
+		}
+	}
+	if r >= len(nd.rounds) {
+		// Past the final round: nothing left to do regardless of role.
+		nd.done = true
+		return
+	}
+	nd.round = r
+	nd.roundFinished = false
+	nd.idx = 0
+	nd.got = 0
+	nd.pendingAck = sim.None
+	nd.announced = -1
+	nd.ownSent = false
+	nd.medIdx = 0
+	if nd.isMediator {
+		nd.medAcked = make(map[sim.NodeID]bool)
+	}
+	input := nd.input
+	if r < len(nd.rounds) {
+		input = nd.rounds[r]
+	}
+	nd.acc = nd.f.Leaf(nd.id, input)
+}
+
+func (nd *Node) stepPhase4(slot int) sim.Action {
+	step := (slot - nd.p4start) / 3
+	sub := (slot - nd.p4start) % 3
+	if nd.roundSteps > 0 {
+		if r := step / nd.roundSteps; r != nd.round {
+			nd.resetRound(r)
+			if nd.done {
+				return sim.Idle()
+			}
+		}
+		nd.stepInRound = step % nd.roundSteps
+		if nd.roundFinished {
+			return sim.Idle()
+		}
+	}
+	if sub == 0 {
+		nd.startStep()
+		if nd.done || nd.roundFinished {
+			return sim.Idle()
+		}
+	}
+	receiver := nd.idx < len(nd.collected)
+	switch sub {
+	case 0:
+		if nd.mediatorActive() {
+			r := nd.medClusters[nd.medIdx].r
+			nd.announced = r
+			return sim.Broadcast(nd.ch0, announceMsg{R: r})
+		}
+		if receiver {
+			return sim.Listen(nd.collected[nd.idx].ch)
+		}
+		return sim.Listen(nd.ch0) // sender awaiting its cluster's announcement
+	case 1:
+		if receiver {
+			return sim.Listen(nd.collected[nd.idx].ch)
+		}
+		if !nd.ownSent && nd.announced == nd.r0 {
+			msg := valueMsg{R: nd.r0, Sender: nd.id, Agg: nd.acc}
+			if size := nd.f.Size(nd.acc); size > nd.maxMsgSize {
+				nd.maxMsgSize = size
+			}
+			return sim.Broadcast(nd.ch0, msg)
+		}
+		return sim.Listen(nd.ch0)
+	default:
+		if receiver {
+			if nd.pendingAck != sim.None {
+				ack := ackMsg{ID: nd.pendingAck}
+				return sim.Broadcast(nd.collected[nd.idx].ch, ack)
+			}
+			return sim.Listen(nd.collected[nd.idx].ch)
+		}
+		return sim.Listen(nd.ch0)
+	}
+}
+
+func (nd *Node) deliverPhase4(slot int, ev sim.Event) {
+	sub := (slot - nd.p4start) % 3
+	switch sub {
+	case 0:
+		// Senders learn which cluster transmits this step.
+		if m, ok := ev.Msg.(announceMsg); ok && ev.Kind == sim.EvReceived {
+			nd.announced = m.R
+		}
+	case 1:
+		if ev.Kind != sim.EvReceived {
+			return // send success/failure resolves via the slot-three ack
+		}
+		m, ok := ev.Msg.(valueMsg)
+		if !ok {
+			return
+		}
+		if nd.idx < len(nd.collected) && m.R == nd.collected[nd.idx].r {
+			nd.acc = nd.f.Merge(nd.acc, m.Agg)
+			nd.got++
+			nd.pendingAck = m.Sender
+		}
+	default:
+		m, ok := ev.Msg.(ackMsg)
+		if !ok || ev.Kind == sim.EvSendFailed {
+			return
+		}
+		if m.ID == nd.id {
+			nd.ownSent = true
+		}
+		if nd.mediatorActive() {
+			cl := nd.medClusters[nd.medIdx]
+			if cl.members[m.ID] && !nd.medAcked[m.ID] {
+				nd.medAcked[m.ID] = true
+				if len(nd.medAcked) == len(cl.members) {
+					nd.medIdx++
+					nd.medAcked = make(map[sim.NodeID]bool)
+				}
+			}
+		}
+	}
+}
+
+// --- Accessors ---------------------------------------------------------------
+
+// Informed reports whether the node received INIT during phase one.
+func (nd *Node) Informed() bool {
+	if !nd.p2init {
+		return nd.cast.Informed()
+	}
+	return nd.informed || nd.source
+}
+
+// Parent returns the node's parent in the distribution tree.
+func (nd *Node) Parent() sim.NodeID {
+	if !nd.p2init {
+		return nd.cast.Parent()
+	}
+	return nd.parent
+}
+
+// InformedSlot returns the slot the node was first informed in, or -1.
+func (nd *Node) InformedSlot() int {
+	if !nd.p2init {
+		return nd.cast.InformedSlot()
+	}
+	return nd.r0
+}
+
+// Aggregate returns the node's current partial aggregate (the network-wide
+// aggregate, at the source, once the node is done).
+func (nd *Node) Aggregate() aggfunc.Value { return nd.acc }
+
+// ClusterSize returns the size of the node's own (r, c)-cluster as counted
+// in phase two (zero for the source).
+func (nd *Node) ClusterSize() int { return nd.clusterSize }
+
+// IsMediator reports whether the node won the mediator election for its
+// channel.
+func (nd *Node) IsMediator() bool { return nd.isMediator }
+
+// MaxMessageSize returns the largest value-message size (in abstract words)
+// the node sent during phase four.
+func (nd *Node) MaxMessageSize() int { return nd.maxMsgSize }
+
+// InformerClusterCount returns how many clusters this node informed.
+func (nd *Node) InformerClusterCount() int { return len(nd.collected) }

@@ -1,0 +1,181 @@
+package cogcomp
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// newTestNode builds a node with a minimal real view (the embedded COGCAST
+// node needs one) whose phase-derived fields tests then set directly.
+func newTestNode(t *testing.T, id sim.NodeID, n, l int) *Node {
+	t.Helper()
+	asn, err := assign.FullOverlap(n, 4, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sim.View(asn, id), id == 0, n, l, 0, aggfunc.Sum{}, 1)
+}
+
+func TestPhaseBoundaries(t *testing.T) {
+	nd := newTestNode(t, 1, 10, 7)
+	if nd.p2start != 7 || nd.p3start != 17 || nd.p4start != 24 {
+		t.Errorf("boundaries = (%d,%d,%d), want (7,17,24)", nd.p2start, nd.p3start, nd.p4start)
+	}
+}
+
+func TestRewoundSlotMapping(t *testing.T) {
+	nd := newTestNode(t, 1, 10, 5)
+	// Phase three runs in slots [15, 20); slot 15 rewinds phase-one slot 4,
+	// slot 19 rewinds slot 0.
+	cases := []struct{ slot, want int }{
+		{15, 4}, {16, 3}, {17, 2}, {18, 1}, {19, 0},
+	}
+	for _, c := range cases {
+		if got := nd.rewoundSlot(c.slot); got != c.want {
+			t.Errorf("rewoundSlot(%d) = %d, want %d", c.slot, got, c.want)
+		}
+	}
+}
+
+func TestCensusDerivation(t *testing.T) {
+	// Roster: channel saw clusters r=3 (nodes 5, 7, 2) and r=6 (nodes 4, 9).
+	// Node 2 was informed at r=3.
+	nd := newTestNode(t, 2, 12, 8)
+	nd.p2init = true
+	nd.informed = true
+	nd.r0 = 3
+	nd.roster = []rosterEntry{
+		{id: 5, r: 3}, {id: 7, r: 3}, {id: 2, r: 3},
+		{id: 4, r: 6}, {id: 9, r: 6},
+	}
+	nd.initPhase3()
+	if nd.clusterSize != 3 {
+		t.Errorf("clusterSize = %d, want 3", nd.clusterSize)
+	}
+	if nd.isMediator {
+		t.Error("node 2 (r=3) elected mediator; the r=6 cluster is later")
+	}
+}
+
+func TestMediatorElectionSmallestIDInLatestCluster(t *testing.T) {
+	roster := []rosterEntry{
+		{id: 5, r: 3}, {id: 7, r: 3},
+		{id: 4, r: 6}, {id: 9, r: 6},
+	}
+	// Node 4: in the latest cluster (r=6), smallest id -> mediator.
+	nd := newTestNode(t, 4, 12, 8)
+	nd.p2init, nd.informed, nd.r0 = true, true, 6
+	nd.roster = append([]rosterEntry(nil), roster...)
+	nd.initPhase3()
+	if !nd.isMediator {
+		t.Error("node 4 should be mediator")
+	}
+	if len(nd.medClusters) != 2 {
+		t.Fatalf("mediator tracks %d clusters, want 2", len(nd.medClusters))
+	}
+	// Descending r order.
+	if nd.medClusters[0].r != 6 || nd.medClusters[1].r != 3 {
+		t.Errorf("mediator cluster order = [%d, %d], want [6, 3]", nd.medClusters[0].r, nd.medClusters[1].r)
+	}
+	if len(nd.medClusters[0].members) != 2 || !nd.medClusters[0].members[9] {
+		t.Errorf("latest cluster members = %v", nd.medClusters[0].members)
+	}
+
+	// Node 9: same cluster but larger id -> not mediator.
+	nd9 := newTestNode(t, 9, 12, 8)
+	nd9.p2init, nd9.informed, nd9.r0 = true, true, 6
+	nd9.roster = append([]rosterEntry(nil), roster...)
+	nd9.initPhase3()
+	if nd9.isMediator {
+		t.Error("node 9 should not be mediator (node 4 is smaller)")
+	}
+}
+
+func TestSourceSkipsCensusDerivation(t *testing.T) {
+	nd := newTestNode(t, 0, 12, 8)
+	nd.initPhase2()
+	nd.initPhase3()
+	if nd.isMediator || nd.clusterSize != 0 {
+		t.Error("source must not join the census")
+	}
+}
+
+func TestPhaseFourClusterOrdering(t *testing.T) {
+	nd := newTestNode(t, 1, 12, 8)
+	nd.collected = []infCluster{{r: 2, ch: 0, size: 1}, {r: 9, ch: 1, size: 2}, {r: 5, ch: 2, size: 1}}
+	nd.initPhase4()
+	if nd.collected[0].r != 9 || nd.collected[1].r != 5 || nd.collected[2].r != 2 {
+		t.Errorf("collected order = %v, want descending r", nd.collected)
+	}
+	if nd.acc != int64(0) {
+		t.Errorf("initial aggregate = %v, want leaf value", nd.acc)
+	}
+}
+
+func TestStartStepAdvancesCompletedCluster(t *testing.T) {
+	nd := newTestNode(t, 1, 12, 8)
+	nd.p2init, nd.informed, nd.r0 = true, true, 2
+	nd.collected = []infCluster{{r: 9, ch: 1, size: 2}, {r: 5, ch: 2, size: 1}}
+	nd.initPhase4()
+	nd.got = 2 // cluster (9) fully collected
+	nd.startStep()
+	if nd.idx != 1 || nd.got != 0 {
+		t.Errorf("after advance idx=%d got=%d, want idx=1 got=0", nd.idx, nd.got)
+	}
+	if nd.done {
+		t.Error("node done while a cluster remains")
+	}
+}
+
+func TestStartStepTerminatesSenderAfterAck(t *testing.T) {
+	nd := newTestNode(t, 1, 12, 8)
+	nd.p2init, nd.informed, nd.r0 = true, true, 2
+	nd.initPhase4()
+	nd.ownSent = true
+	nd.startStep()
+	if !nd.done {
+		t.Error("acked non-mediator sender should terminate")
+	}
+}
+
+func TestStartStepKeepsMediatorAlive(t *testing.T) {
+	nd := newTestNode(t, 1, 12, 8)
+	nd.p2init, nd.informed, nd.r0 = true, true, 6
+	nd.isMediator = true
+	nd.medClusters = []medCluster{{r: 6, members: map[sim.NodeID]bool{1: true, 3: true}}}
+	nd.medAcked = map[sim.NodeID]bool{}
+	nd.initPhase4()
+	nd.ownSent = true
+	nd.startStep()
+	if nd.done {
+		t.Error("mediator with pending clusters must stay alive after its own ack")
+	}
+	// Once the cluster queue drains the mediator may leave.
+	nd.medIdx = 1
+	nd.startStep()
+	if !nd.done {
+		t.Error("mediator with drained queue should terminate")
+	}
+}
+
+func TestSourceTerminatesWhenCollectingDone(t *testing.T) {
+	nd := newTestNode(t, 0, 12, 8)
+	nd.initPhase2()
+	nd.initPhase4()
+	nd.startStep() // no clusters at all
+	if !nd.done {
+		t.Error("source with nothing to collect should terminate")
+	}
+}
+
+func TestPhaseOneLengthMatchesCogcastBound(t *testing.T) {
+	if PhaseOneLength(128, 16, 4, 2) < PhaseOneLength(128, 16, 4, 1) {
+		t.Error("phase-one length must grow with kappa")
+	}
+	if PhaseOneLength(1, 4, 2, 1) != 1 {
+		t.Error("degenerate single-node length should be 1")
+	}
+}

@@ -1,0 +1,127 @@
+package cogcomp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// ErrIncomplete is returned when aggregation finished but some nodes never
+// joined the tree (the phase-one w.h.p. event failed), so the source's
+// aggregate is missing inputs.
+var ErrIncomplete = errors.New("cogcomp: aggregation incomplete: some nodes were never informed")
+
+// Config configures a COGCOMP run.
+type Config struct {
+	// Kappa scales phase one's length (see cogcast.SlotBound). Zero means
+	// cogcast.DefaultKappa.
+	Kappa float64
+	// MaxSlots bounds the whole execution. Zero picks a budget comfortably
+	// above the Theorem 10 bound for the given parameters.
+	MaxSlots int
+	// Func is the aggregate to compute. Nil means aggfunc.Sum.
+	Func aggfunc.Func
+}
+
+// Result reports one COGCOMP execution.
+type Result struct {
+	// Value is the aggregate held by the source at termination.
+	Value aggfunc.Value
+	// Complete reports that every node contributed.
+	Complete bool
+	// TotalSlots is the number of slots until every node terminated.
+	TotalSlots int
+	// Phase1Slots .. Phase4Slots break the run down per phase. Phases one
+	// to three have fixed lengths (l, n, l); phase four runs to completion.
+	Phase1Slots, Phase2Slots, Phase3Slots, Phase4Slots int
+	// InformedAfterPhase1 counts nodes holding INIT when phase one ended.
+	InformedAfterPhase1 int
+	// Parents is the distribution tree (sim.None for source/uninformed).
+	Parents []sim.NodeID
+	// MaxMessageSize is the largest phase-four value message any node sent,
+	// in abstract words (see aggfunc.Func.Size).
+	MaxMessageSize int
+	// Mediators counts elected mediators (one per channel that informed
+	// anyone in phase one).
+	Mediators int
+}
+
+// Run executes COGCOMP over the assignment and returns the source's
+// aggregate. The assignment must be static: phases two to four revisit the
+// channels used in phase one, which is meaningless if sets change per slot
+// (COGCAST alone, by contrast, also works over dynamic assignments).
+func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+	n := asn.Nodes()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("cogcomp: got %d inputs for %d nodes", len(inputs), n)
+	}
+	kappa := cfg.Kappa
+	if kappa == 0 {
+		kappa = cogcast.DefaultKappa
+	}
+	f := cfg.Func
+	if f == nil {
+		f = aggfunc.Sum{}
+	}
+	l := PhaseOneLength(n, asn.PerNode(), asn.MinOverlap(), kappa)
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		// Phases 1-3 take 2l+n slots; phase four needs at most about
+		// 3(n+l) slots per the Theorem 10 induction. Double it for slack.
+		maxSlots = (2*l + n) + 6*(n+l) + 96
+	}
+
+	nodes := make([]*Node, n)
+	protos := make([]sim.Protocol, n)
+	for i := range nodes {
+		nodes[i] = New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, inputs[i], f, seed)
+		protos[i] = nodes[i]
+	}
+	eng, err := sim.NewEngine(asn, protos, seed)
+	if err != nil {
+		return nil, err
+	}
+	total, err := eng.Run(maxSlots)
+	if err != nil {
+		return nil, fmt.Errorf("cogcomp: %w (after %d slots; l=%d n=%d)", err, total, l, n)
+	}
+
+	res := &Result{
+		Value:       nodes[source].Aggregate(),
+		TotalSlots:  total,
+		Phase1Slots: l,
+		Phase2Slots: n,
+		Phase3Slots: l,
+		Phase4Slots: total - (2*l + n),
+		Parents:     make([]sim.NodeID, n),
+	}
+	if res.Phase4Slots < 0 {
+		// Tiny networks can finish before the nominal phase boundaries.
+		res.Phase4Slots = 0
+	}
+	informed := 0
+	for i, nd := range nodes {
+		if nd.Informed() {
+			informed++
+		}
+		res.Parents[i] = nd.Parent()
+		if nd.MaxMessageSize() > res.MaxMessageSize {
+			res.MaxMessageSize = nd.MaxMessageSize()
+		}
+		if nd.IsMediator() {
+			res.Mediators++
+		}
+	}
+	res.InformedAfterPhase1 = informed
+	res.Complete = informed == n
+	if !res.Complete {
+		return res, ErrIncomplete
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package cogcomp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// A session amortizes COGCOMP's setup: the distribution tree, census and
+// informer structures (phases one to three) are built once, and phase four
+// — the only part that touches the data — is re-run once per reporting
+// round with fresh inputs. Rounds occupy fixed windows of RoundSteps steps
+// so all nodes agree on the boundaries; Theorem 10's induction gives
+// r_l <= n + l steps, so the default window n + l + margin always suffices
+// in the collision model.
+//
+// This is an extension of the paper (experiment E25): the paper's practical
+// motivation — periodic quality-of-service snapshots — implies repeated
+// aggregations over a static network, where paying the Θ((c/k)lg n) tree
+// construction once instead of every round is the natural engineering move.
+
+// SessionConfig configures a multi-round run.
+type SessionConfig struct {
+	// Kappa scales phase one (0 = cogcast.DefaultKappa).
+	Kappa float64
+	// Func is the aggregate (nil = aggfunc.Sum).
+	Func aggfunc.Func
+	// RoundSteps is the per-round step window (0 = n + l + 16).
+	RoundSteps int
+}
+
+// SessionResult reports a multi-round aggregation.
+type SessionResult struct {
+	// Values[r] is the source's aggregate for round r.
+	Values []aggfunc.Value
+	// Complete[r] reports whether round r finished within its window.
+	Complete []bool
+	// TotalSlots is the whole session's slot count.
+	TotalSlots int
+	// SetupSlots is the phases 1-3 cost paid once (2l + n).
+	SetupSlots int
+	// RoundSlots is the fixed per-round window in slots (3·RoundSteps).
+	RoundSlots int
+	// FinishSteps[r] is the step within round r at which the source had
+	// collected everything (-1 if the round ran out of window) — the signal
+	// for tuning RoundSteps in subsequent sessions.
+	FinishSteps []int
+}
+
+// RunRounds executes a session: rounds[r][v] is node v's input in round r.
+// The assignment must be static. Every round's aggregate is computed over
+// the same distribution tree.
+func RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int64, seed int64, cfg SessionConfig) (*SessionResult, error) {
+	n := asn.Nodes()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
+	}
+	if len(rounds) == 0 {
+		return nil, errors.New("cogcomp: session needs at least one round")
+	}
+	for r, inputs := range rounds {
+		if len(inputs) != n {
+			return nil, fmt.Errorf("cogcomp: round %d has %d inputs for %d nodes", r, len(inputs), n)
+		}
+	}
+	kappa := cfg.Kappa
+	if kappa == 0 {
+		kappa = cogcast.DefaultKappa
+	}
+	f := cfg.Func
+	if f == nil {
+		f = aggfunc.Sum{}
+	}
+	l := PhaseOneLength(n, asn.PerNode(), asn.MinOverlap(), kappa)
+	roundSteps := cfg.RoundSteps
+	if roundSteps == 0 {
+		roundSteps = n + l + 16
+	}
+
+	nodes := make([]*Node, n)
+	protos := make([]sim.Protocol, n)
+	for i := range nodes {
+		perRound := make([]int64, len(rounds))
+		for r := range rounds {
+			perRound[r] = rounds[r][i]
+		}
+		nd := New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, perRound[0], f, seed)
+		nd.rounds = perRound
+		nd.roundSteps = roundSteps
+		if sim.NodeID(i) == source {
+			nd.results = make([]aggfunc.Value, len(rounds))
+			nd.completeRound = make([]bool, len(rounds))
+			nd.finishSteps = make([]int, len(rounds))
+			for r := range nd.finishSteps {
+				nd.finishSteps[r] = -1
+			}
+		}
+		nodes[i] = nd
+		protos[i] = nd
+	}
+	eng, err := sim.NewEngine(asn, protos, seed)
+	if err != nil {
+		return nil, err
+	}
+	setup := 2*l + n
+	budget := setup + 3*roundSteps*len(rounds) + 3
+	total, err := eng.Run(budget)
+	if err != nil && !errors.Is(err, sim.ErrMaxSlots) {
+		return nil, err
+	}
+
+	src := nodes[source]
+	res := &SessionResult{
+		Values:      src.results,
+		Complete:    src.completeRound,
+		TotalSlots:  total,
+		SetupSlots:  setup,
+		RoundSlots:  3 * roundSteps,
+		FinishSteps: src.finishSteps,
+	}
+	for r := range res.Complete {
+		if !res.Complete[r] {
+			return res, fmt.Errorf("cogcomp: round %d incomplete within its %d-step window", r, roundSteps)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,51 @@
+package exper
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentDeterminism renders the same experiment twice with the same
+// seed and requires byte-identical tables — the property that makes
+// EXPERIMENTS.md reproducible with `cogbench -seed 42`. E12 exercises the
+// backoff substrate; E6 the games; both are fast.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"E6", "E12"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func() string {
+			tables, err := e.Run(Config{Seed: 99, Trials: 2, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, tb := range tables {
+				if err := tb.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return buf.String()
+		}
+		a, b := render(), render()
+		if a != b {
+			t.Errorf("%s: identical seeds produced different tables:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tb := &Table{
+		Columns: []string{"a", "b"},
+	}
+	tb.AddRow("1", "x,y") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,213 @@
+// Package exper defines the repository's experiment suite: one named,
+// runnable experiment per analytical claim in the paper (the paper is a
+// theory paper, so its "tables and figures" are theorems and the
+// discussion's worked examples; see DESIGN.md for the full index).
+// Experiments produce plain-text tables that cmd/cogbench renders and that
+// EXPERIMENTS.md records.
+package exper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed roots all randomness; identical configs reproduce identical
+	// tables.
+	Seed int64
+	// Trials is the number of independent repetitions per parameter point.
+	// Zero means DefaultTrials.
+	Trials int
+	// Quick shrinks sweeps for use under `go test`/benchmarks; full runs
+	// (cmd/cogbench) leave it false.
+	Quick bool
+}
+
+// DefaultTrials is the per-point repetition count when Config.Trials is 0.
+const DefaultTrials = 9
+
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return DefaultTrials
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title names the table, e.g. "E1: COGCAST scaling in n (c <= n)".
+	Title string
+	// Claim restates the paper's prediction the table checks.
+	Claim string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes carries fit results and verdict lines.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "*Claim:* %s\n\n", t.Claim)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as RFC-4180 CSV (title and notes as comment rows are
+// omitted; only header and data rows are emitted, which is what plotting
+// scripts want).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Experiment is one named reproduction.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim restates what the paper predicts.
+	Claim string
+	// Run executes the experiment and returns its tables.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+// registry holds all experiments, populated by init functions in the
+// per-area files of this package (a fixed, package-internal registration —
+// not mutable global state in the style-guide sense, since nothing outside
+// the package can modify it).
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exper: duplicate experiment id " + e.ID) // programmer error at package init
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment ordered by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// ByID looks an experiment up by its identifier (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[strings.ToUpper(id)]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exper: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// ftoa formats a float compactly for table cells.
+func ftoa(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+
+// itoa formats an int for table cells.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

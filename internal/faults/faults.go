@@ -1,0 +1,160 @@
+// Package faults injects temporary node failures into simulations. The
+// paper argues (Section 1) that COGCAST's stateless per-slot behavior makes
+// it robust to "changes to the network conditions, temporary faults, and so
+// on"; this package makes that claim testable: a Crasher wraps any
+// sim.Protocol and silences it during adversarially or randomly scheduled
+// outages — the node neither transmits nor hears anything while down, as if
+// its radio lost power.
+//
+// The contrast experiment (E20) shows the flip side: the same outages that
+// barely slow COGCAST break COGCOMP's tightly scheduled phases, which is
+// exactly why the paper presents the simple epidemic primitive as the
+// robust building block.
+package faults
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Schedule decides whether a node is up in a given slot. Implementations
+// must be deterministic functions of their inputs.
+type Schedule interface {
+	// Up reports whether the node's radio works during the slot.
+	Up(node sim.NodeID, slot int) bool
+	// Name identifies the schedule in reports.
+	Name() string
+}
+
+// AlwaysUp is the no-fault control schedule.
+type AlwaysUp struct{}
+
+var _ Schedule = AlwaysUp{}
+
+// Up implements Schedule.
+func (AlwaysUp) Up(sim.NodeID, int) bool { return true }
+
+// Name implements Schedule.
+func (AlwaysUp) Name() string { return "none" }
+
+// RandomOutages takes each node down independently with probability p per
+// slot, for an outage of fixed duration. Outage starts are derived from
+// (seed, node, slot), so runs are reproducible.
+type RandomOutages struct {
+	p        float64
+	duration int
+	seed     int64
+	protect  map[sim.NodeID]bool
+}
+
+var _ Schedule = (*RandomOutages)(nil)
+
+// NewRandomOutages builds a schedule where every unprotected node goes down
+// with per-slot probability p for duration slots. Protected nodes (e.g. a
+// source that must stay alive for broadcast to be solvable) never fail.
+func NewRandomOutages(p float64, duration int, seed int64, protect ...sim.NodeID) (*RandomOutages, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("faults: outage probability %v outside [0,1)", p)
+	}
+	if duration < 1 {
+		return nil, fmt.Errorf("faults: outage duration %d must be positive", duration)
+	}
+	prot := make(map[sim.NodeID]bool, len(protect))
+	for _, id := range protect {
+		prot[id] = true
+	}
+	return &RandomOutages{p: p, duration: duration, seed: seed, protect: prot}, nil
+}
+
+// Name implements Schedule.
+func (*RandomOutages) Name() string { return "random-outages" }
+
+// Up implements Schedule: the node is down in slot t if an outage started
+// in any of the slots (t-duration, t]. Each slot independently starts an
+// outage with probability p.
+func (r *RandomOutages) Up(node sim.NodeID, slot int) bool {
+	if r.protect[node] {
+		return true
+	}
+	start := slot - r.duration + 1
+	if start < 0 {
+		start = 0
+	}
+	for s := start; s <= slot; s++ {
+		if rng.Uniform01(r.seed, int64(node), int64(s), 0xfa17) < r.p {
+			return false
+		}
+	}
+	return true
+}
+
+// Blackout takes a fixed set of nodes down during one interval — the
+// deterministic worst-case "a whole region lost power" fault.
+type Blackout struct {
+	from, until int // [from, until)
+	nodes       map[sim.NodeID]bool
+}
+
+var _ Schedule = (*Blackout)(nil)
+
+// NewBlackout builds a schedule where the listed nodes are down for slots
+// [from, until).
+func NewBlackout(from, until int, nodes ...sim.NodeID) (*Blackout, error) {
+	if from < 0 || until < from {
+		return nil, fmt.Errorf("faults: invalid blackout interval [%d, %d)", from, until)
+	}
+	set := make(map[sim.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		set[id] = true
+	}
+	return &Blackout{from: from, until: until, nodes: set}, nil
+}
+
+// Name implements Schedule.
+func (*Blackout) Name() string { return "blackout" }
+
+// Up implements Schedule.
+func (b *Blackout) Up(node sim.NodeID, slot int) bool {
+	return !b.nodes[node] || slot < b.from || slot >= b.until
+}
+
+// Crasher wraps a protocol with a fault schedule: while down, the node
+// idles and hears nothing; its inner protocol does not even observe the
+// slots passing (its Step is not called), modelling a powered-off radio
+// whose firmware clock resumes with the global slot number — the synchrony
+// assumption of the model survives because slots are globally numbered.
+type Crasher struct {
+	inner    sim.Protocol
+	id       sim.NodeID
+	schedule Schedule
+	downed   int
+}
+
+var _ sim.Protocol = (*Crasher)(nil)
+
+// Wrap decorates a protocol with the fault schedule.
+func Wrap(inner sim.Protocol, id sim.NodeID, schedule Schedule) *Crasher {
+	return &Crasher{inner: inner, id: id, schedule: schedule}
+}
+
+// Step implements sim.Protocol.
+func (c *Crasher) Step(slot int) sim.Action {
+	if !c.schedule.Up(c.id, slot) {
+		c.downed++
+		return sim.Idle()
+	}
+	return c.inner.Step(slot)
+}
+
+// Deliver implements sim.Protocol. Down nodes cannot receive, but the
+// engine only delivers to nodes that acted, and a down node idles — so this
+// forwards unconditionally and the schedule is still airtight.
+func (c *Crasher) Deliver(slot int, ev sim.Event) { c.inner.Deliver(slot, ev) }
+
+// Done implements sim.Protocol.
+func (c *Crasher) Done() bool { return c.inner.Done() }
+
+// DownSlots returns how many slots the node spent offline.
+func (c *Crasher) DownSlots() int { return c.downed }

@@ -1,0 +1,222 @@
+// Package jamming implements the multi-channel network with an n-uniform
+// jamming adversary from the paper's Section 7 discussion, and the
+// Theorem 18 reduction to a dynamic cognitive radio network.
+//
+// The setting: n nodes share all c channels of a classic multi-channel
+// network; an adversary may jam up to kJam < c/2 channels *per node, per
+// slot* (n-uniform: the jamming decision is individual per node). A jammed
+// channel is useless to that node. The reduction observes that the
+// per-slot set of unjammed channels is a valid dynamic channel assignment:
+// every node retains at least c−kJam channels, and any two nodes still
+// share at least c−2·kJam, so any local-label dynamic-CRN broadcast
+// algorithm — COGCAST in particular — runs unmodified with the guarantees
+// of T(n, c, c−2·kJam).
+//
+// Assignment below *is* that reduction: it turns (network, adversary) into
+// a sim.Assignment whose per-slot channel sets are the unjammed channels in
+// a per-node random order (local labels, as Theorem 18 requires).
+package jamming
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Jammer is an n-uniform jamming adversary: per slot it decides, for each
+// node individually, which physical channels to jam. Implementations must
+// be deterministic functions of (slot, node) so runs are reproducible;
+// oblivious adversaries only (the model gives the adversary no access to
+// the nodes' coin flips).
+type Jammer interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Jammed returns the physical channels jammed for node in slot. The
+	// result must contain at most the adversary's budget of distinct
+	// channels in [0, c).
+	Jammed(slot int, node sim.NodeID) []int
+}
+
+// Assignment adapts a jammed c-channel network to sim.Assignment per the
+// Theorem 18 reduction. PerNode reports c (the full spectrum); actual
+// per-slot sets are smaller, which protocols observe through
+// sim.NodeView.NumChannels. MinOverlap reports the guaranteed c−2·kJam.
+type Assignment struct {
+	n, c, kJam int
+	jammer     Jammer
+	seed       int64
+
+	cachedSlot int
+	cached     [][]int
+}
+
+var _ sim.Assignment = (*Assignment)(nil)
+
+// NewAssignment builds the reduction for n nodes, c channels, and an
+// adversary budget of kJam < c/2 jammed channels per node per slot.
+func NewAssignment(n, c, kJam int, jammer Jammer, seed int64) (*Assignment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("jamming: n=%d must be positive", n)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("jamming: c=%d must be positive", c)
+	}
+	if kJam < 0 || 2*kJam >= c {
+		return nil, fmt.Errorf("jamming: budget kJam=%d must satisfy 0 <= kJam < c/2 = %d/2", kJam, c)
+	}
+	if jammer == nil {
+		return nil, fmt.Errorf("jamming: nil jammer")
+	}
+	a := &Assignment{n: n, c: c, kJam: kJam, jammer: jammer, seed: seed, cachedSlot: -1}
+	a.cached = make([][]int, n)
+	for u := range a.cached {
+		a.cached[u] = make([]int, 0, c)
+	}
+	return a, nil
+}
+
+// Nodes returns n.
+func (a *Assignment) Nodes() int { return a.n }
+
+// Channels returns c (all channels are physical spectrum here).
+func (a *Assignment) Channels() int { return a.c }
+
+// PerNode returns c, the nominal spectrum size.
+func (a *Assignment) PerNode() int { return a.c }
+
+// MinOverlap returns the reduction's guarantee c − 2·kJam.
+func (a *Assignment) MinOverlap() int { return a.c - 2*a.kJam }
+
+// ChannelSet returns the node's unjammed channels for the slot in a
+// node-private random order.
+func (a *Assignment) ChannelSet(node sim.NodeID, slot int) []int {
+	if slot != a.cachedSlot {
+		a.fill(slot)
+	}
+	return a.cached[node]
+}
+
+func (a *Assignment) fill(slot int) {
+	for u := 0; u < a.n; u++ {
+		jammed := a.jammer.Jammed(slot, sim.NodeID(u))
+		if len(jammed) > a.kJam {
+			// An over-budget adversary would void the reduction's overlap
+			// guarantee; clamp to the budget rather than corrupt the model.
+			jammed = jammed[:a.kJam]
+		}
+		blocked := make(map[int]bool, len(jammed))
+		for _, ch := range jammed {
+			if ch >= 0 && ch < a.c {
+				blocked[ch] = true
+			}
+		}
+		set := a.cached[u][:0]
+		for ch := 0; ch < a.c; ch++ {
+			if !blocked[ch] {
+				set = append(set, ch)
+			}
+		}
+		r := rng.New(a.seed, int64(slot), int64(u), 0x1a3)
+		r.Shuffle(len(set), func(i, j int) { set[i], set[j] = set[j], set[i] })
+		a.cached[u] = set
+	}
+	a.cachedSlot = slot
+}
+
+// --- Adversary strategies --------------------------------------------------------
+
+// RandomJammer jams a fresh uniform random budget-size channel set per node
+// per slot — the fully n-uniform oblivious adversary.
+type RandomJammer struct {
+	c, budget int
+	seed      int64
+	buf       []int
+}
+
+var _ Jammer = (*RandomJammer)(nil)
+
+// NewRandomJammer builds a random jammer over c channels with the given
+// per-node budget.
+func NewRandomJammer(c, budget int, seed int64) *RandomJammer {
+	return &RandomJammer{c: c, budget: budget, seed: seed, buf: make([]int, budget)}
+}
+
+// Name implements Jammer.
+func (*RandomJammer) Name() string { return "random" }
+
+// Jammed implements Jammer.
+func (j *RandomJammer) Jammed(slot int, node sim.NodeID) []int {
+	r := rng.New(j.seed, int64(slot), int64(node), 0x1a4)
+	idx := r.Perm(j.c)[:j.budget]
+	copy(j.buf, idx)
+	return j.buf
+}
+
+// SweepJammer jams a contiguous window that slides across the spectrum,
+// the same window for every node (a 1-uniform adversary — the weakest end
+// of the n-uniform family).
+type SweepJammer struct {
+	c, budget int
+	buf       []int
+}
+
+var _ Jammer = (*SweepJammer)(nil)
+
+// NewSweepJammer builds a sweeping jammer over c channels.
+func NewSweepJammer(c, budget int) *SweepJammer {
+	return &SweepJammer{c: c, budget: budget, buf: make([]int, budget)}
+}
+
+// Name implements Jammer.
+func (*SweepJammer) Name() string { return "sweep" }
+
+// Jammed implements Jammer.
+func (j *SweepJammer) Jammed(slot int, _ sim.NodeID) []int {
+	for i := 0; i < j.budget; i++ {
+		j.buf[i] = (slot*j.budget + i) % j.c
+	}
+	return j.buf
+}
+
+// SplitJammer partitions nodes into groups and jams a different window per
+// group, exercising genuine n-uniformity: two nodes in different groups see
+// different jammed spectra in the same slot.
+type SplitJammer struct {
+	c, budget, groups int
+	buf               []int
+}
+
+var _ Jammer = (*SplitJammer)(nil)
+
+// NewSplitJammer builds a split jammer with the given group count.
+func NewSplitJammer(c, budget, groups int) *SplitJammer {
+	if groups < 1 {
+		groups = 1
+	}
+	return &SplitJammer{c: c, budget: budget, groups: groups, buf: make([]int, budget)}
+}
+
+// Name implements Jammer.
+func (*SplitJammer) Name() string { return "split" }
+
+// Jammed implements Jammer.
+func (j *SplitJammer) Jammed(slot int, node sim.NodeID) []int {
+	group := int(node) % j.groups
+	base := (slot + group*j.c/j.groups) % j.c
+	for i := 0; i < j.budget; i++ {
+		j.buf[i] = (base + i) % j.c
+	}
+	return j.buf
+}
+
+// NoJammer never jams — the control arm of the jamming experiments.
+type NoJammer struct{}
+
+var _ Jammer = (*NoJammer)(nil)
+
+// Name implements Jammer.
+func (NoJammer) Name() string { return "none" }
+
+// Jammed implements Jammer.
+func (NoJammer) Jammed(int, sim.NodeID) []int { return nil }

@@ -1,0 +1,59 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cogradio/crn/internal/metrics"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	var c metrics.Collector
+	// Slot 0: channel 0 has 2 broadcasters + 1 listener (collision,
+	// delivery); channel 1 has 1 listener, no broadcasters (wasted).
+	c.OnSlot(0, []sim.ChannelOutcome{
+		{Channel: 0, Broadcasters: []sim.NodeID{1, 2}, Winner: 1, Listeners: []sim.NodeID{3}},
+		{Channel: 1, Listeners: []sim.NodeID{4}, Winner: sim.None},
+	})
+	// Slot 1: channel 0 has 1 broadcaster, 2 listeners.
+	c.OnSlot(1, []sim.ChannelOutcome{
+		{Channel: 0, Broadcasters: []sim.NodeID{5}, Winner: 5, Listeners: []sim.NodeID{6, 7}},
+	})
+	m := c.Snapshot()
+	if m.Slots != 2 {
+		t.Errorf("Slots = %d", m.Slots)
+	}
+	if m.BusyChannelsPerSlot != 1.0 {
+		t.Errorf("BusyChannelsPerSlot = %v, want 1.0 (2 busy channels over 2 slots)", m.BusyChannelsPerSlot)
+	}
+	if m.CollisionRate != 0.5 {
+		t.Errorf("CollisionRate = %v, want 0.5", m.CollisionRate)
+	}
+	// Listens: 1 delivered + 1 wasted + 2 delivered = 3/4 delivery.
+	if m.DeliveryRate != 0.75 {
+		t.Errorf("DeliveryRate = %v, want 0.75", m.DeliveryRate)
+	}
+	if m.BroadcastsPerSlot != 1.5 {
+		t.Errorf("BroadcastsPerSlot = %v, want 1.5", m.BroadcastsPerSlot)
+	}
+}
+
+func TestZeroValueSnapshot(t *testing.T) {
+	var c metrics.Collector
+	m := c.Snapshot()
+	if m.Slots != 0 || m.CollisionRate != 0 || m.DeliveryRate != 0 {
+		t.Errorf("zero snapshot = %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	var c metrics.Collector
+	c.OnSlot(0, []sim.ChannelOutcome{
+		{Channel: 0, Broadcasters: []sim.NodeID{1}, Winner: 1, Listeners: []sim.NodeID{2}},
+	})
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "slots=1") || !strings.Contains(s, "delivery=100%") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,45 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// AsymmetricScan is the classic guaranteed deterministic rendezvous for the
+// asymmetric case (the two nodes have distinct roles): the receiver dwells
+// on each of its channels for c consecutive slots while the sender sweeps
+// all of its channels once per dwell. During the receiver's dwell on any
+// shared channel the sender's sweep necessarily visits that channel, so the
+// pair meets within c·c_r + c slots — the O(c²) regime the related work
+// achieves and that footnote 1's randomized O(c²/k) improves on for
+// non-constant k. It needs only local labels.
+//
+// The symmetric case (no pre-assigned roles) is strictly harder and is what
+// the cited deterministic literature [6, 11] solves with more machinery;
+// the asymmetric scan is the natural baseline this library implements.
+func AsymmetricScan(asn sim.Assignment, sender, receiver sim.NodeID, maxSlots int) (*Result, error) {
+	if err := checkPair(asn, sender, receiver); err != nil {
+		return nil, err
+	}
+	for slot := 0; slot < maxSlots; slot++ {
+		ss := asn.ChannelSet(sender, slot)
+		rs := asn.ChannelSet(receiver, slot)
+		cs := ss[slot%len(ss)]
+		cr := rs[(slot/len(ss))%len(rs)]
+		if cs == cr {
+			return &Result{Slots: slot + 1, Met: true, Channel: cs}, nil
+		}
+	}
+	return &Result{Slots: maxSlots, Met: false, Channel: -1}, nil
+}
+
+// AsymmetricScanBound returns the guaranteed meeting deadline of
+// AsymmetricScan for set sizes cSender and cReceiver: every (dwell, sweep)
+// pair is visited within cSender·cReceiver slots.
+func AsymmetricScanBound(cSender, cReceiver int) (int, error) {
+	if cSender < 1 || cReceiver < 1 {
+		return 0, fmt.Errorf("rendezvous: set sizes must be positive, got %d and %d", cSender, cReceiver)
+	}
+	return cSender * cReceiver, nil
+}

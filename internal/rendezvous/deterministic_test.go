@@ -1,0 +1,105 @@
+package rendezvous_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/rendezvous"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestAsymmetricScanGuarantee(t *testing.T) {
+	// The scan must meet within c² slots on EVERY instance — that is the
+	// deterministic guarantee. Try many seeds and (c,k) combinations.
+	for _, p := range []struct{ c, k int }{{4, 1}, {8, 2}, {12, 3}, {16, 1}} {
+		bound, err := rendezvous.AsymmetricScanBound(p.c, p.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 30; seed++ {
+			asn := twoSet(t, p.c, p.k, seed)
+			res, err := rendezvous.AsymmetricScan(asn, 0, 1, bound+p.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Met {
+				t.Fatalf("c=%d k=%d seed %d: deterministic scan missed its guarantee", p.c, p.k, seed)
+			}
+			if res.Slots > bound+p.c {
+				t.Fatalf("c=%d k=%d seed %d: met after %d slots, bound %d", p.c, p.k, seed, res.Slots, bound)
+			}
+		}
+	}
+}
+
+func TestAsymmetricScanMeetsOnSharedChannel(t *testing.T) {
+	asn := twoSet(t, 8, 2, 7)
+	res, err := rendezvous.AsymmetricScan(asn, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("scan missed")
+	}
+	inSet := func(node sim.NodeID) bool {
+		for _, ch := range asn.ChannelSet(node, 0) {
+			if ch == res.Channel {
+				return true
+			}
+		}
+		return false
+	}
+	if !inSet(0) || !inSet(1) {
+		t.Errorf("meeting channel %d not shared", res.Channel)
+	}
+}
+
+func TestAsymmetricScanValidation(t *testing.T) {
+	asn := twoSet(t, 4, 1, 1)
+	if _, err := rendezvous.AsymmetricScan(asn, 0, 0, 10); err == nil {
+		t.Error("self pair accepted")
+	}
+	if _, err := rendezvous.AsymmetricScanBound(0, 4); err == nil {
+		t.Error("zero set size accepted")
+	}
+}
+
+func TestRandomizedAndAsymmetricScanBothThetaCSquaredOverK(t *testing.T) {
+	// On average both approaches are Θ(c²/k): uniform hopping meets in
+	// ≈ c²/k expected slots, and the asymmetric scan's receiver first
+	// dwells on a shared channel after ≈ c/(k+1) dwells of c slots each.
+	// (Footnote 1's advantage of randomization is over *symmetric*
+	// deterministic schedules, where no role assignment is available and
+	// the worst case is Θ(c²) regardless of k; the asymmetric scan buys
+	// its speed by presuming roles.) Assert both means live within a small
+	// factor of c²/k.
+	const c, k = 16, 8
+	const trials = 60
+	var randTotal, detTotal int
+	for seed := int64(0); seed < trials; seed++ {
+		asn := twoSet(t, c, k, seed)
+		r, err := rendezvous.Uniform(asn, 0, 1, seed, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Met {
+			t.Fatal("uniform never met")
+		}
+		randTotal += r.Slots
+		d, err := rendezvous.AsymmetricScan(asn, 0, 1, c*c+c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Met {
+			t.Fatal("deterministic never met")
+		}
+		detTotal += d.Slots
+	}
+	theory := rendezvous.ExpectedSlots(c, k)
+	randMean := float64(randTotal) / trials
+	detMean := float64(detTotal) / trials
+	for name, mean := range map[string]float64{"uniform": randMean, "asymmetric-scan": detMean} {
+		if mean < theory/3 || mean > theory*3 {
+			t.Errorf("%s mean %.1f outside [%.1f, %.1f] around c²/k", name, mean, theory/3, theory*3)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package rendezvous_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/rendezvous"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func twoSet(t *testing.T, c, k int, seed int64) sim.Assignment {
+	t.Helper()
+	asn, err := assign.TwoSet(2, c, k, assign.LocalLabels, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asn
+}
+
+func TestUniformMeets(t *testing.T) {
+	asn := twoSet(t, 8, 2, 1)
+	res, err := rendezvous.Uniform(asn, 0, 1, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatalf("pair never met: %+v", res)
+	}
+	if res.Channel < 0 {
+		t.Error("meeting channel not recorded")
+	}
+	// The meeting channel must be in both sets.
+	inSet := func(node sim.NodeID) bool {
+		for _, ch := range asn.ChannelSet(node, 0) {
+			if ch == res.Channel {
+				return true
+			}
+		}
+		return false
+	}
+	if !inSet(0) || !inSet(1) {
+		t.Errorf("meeting channel %d not shared by the pair", res.Channel)
+	}
+}
+
+func TestUniformMeanTracksTheory(t *testing.T) {
+	// Footnote 1: expected meeting time ≈ c²/k for uniform hopping with
+	// overlap exactly k (the two-set construction gives exactly k).
+	cases := []struct{ c, k int }{{8, 2}, {16, 4}, {16, 2}}
+	const trials = 300
+	for _, cs := range cases {
+		var total int
+		for trial := 0; trial < trials; trial++ {
+			asn := twoSet(t, cs.c, cs.k, int64(trial))
+			res, err := rendezvous.Uniform(asn, 0, 1, int64(trial), 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Met {
+				t.Fatalf("c=%d k=%d trial %d: never met", cs.c, cs.k, trial)
+			}
+			total += res.Slots
+		}
+		mean := float64(total) / trials
+		want := rendezvous.ExpectedSlots(cs.c, cs.k)
+		if mean < want*0.7 || mean > want*1.3 {
+			t.Errorf("c=%d k=%d: mean %.1f slots, theory %.1f (tolerance 30%%)", cs.c, cs.k, mean, want)
+		}
+	}
+}
+
+func TestUniformBudget(t *testing.T) {
+	asn := twoSet(t, 32, 1, 3)
+	res, err := rendezvous.Uniform(asn, 0, 1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met && res.Slots > 1 {
+		t.Error("budget exceeded")
+	}
+	if !res.Met && res.Channel != -1 {
+		t.Error("unmet result should carry channel -1")
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	asn := twoSet(t, 4, 1, 1)
+	if _, err := rendezvous.Uniform(asn, 0, 0, 1, 10); err == nil {
+		t.Error("self-rendezvous accepted")
+	}
+	if _, err := rendezvous.Uniform(asn, 0, 9, 1, 10); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := rendezvous.Exchange(asn, -1, 1, 1, 10); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestExchangeBothDirections(t *testing.T) {
+	asn := twoSet(t, 8, 3, 5)
+	res, err := rendezvous.Exchange(asn, 0, 1, 5, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("exchange incomplete: %+v", res)
+	}
+	// A two-way exchange cannot beat a one-way meeting on average; over a
+	// single run just sanity-check it's not absurdly small.
+	if res.Slots < 1 {
+		t.Errorf("slots = %d", res.Slots)
+	}
+}
+
+func TestSharedScheduleAgreesForever(t *testing.T) {
+	common := []int{5, 9, 13}
+	a, err := rendezvous.NewSharedSchedule(common, 111, 222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The other side derives the schedule from the same swapped seeds in
+	// the opposite order; both must agree on every slot.
+	b, err := rendezvous.NewSharedSchedule(common, 222, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for slot := 0; slot < 500; slot++ {
+		ca, cb := a.Channel(slot), b.Channel(slot)
+		if ca != cb {
+			t.Fatalf("slot %d: schedules diverge (%d vs %d)", slot, ca, cb)
+		}
+		if ca != 5 && ca != 9 && ca != 13 {
+			t.Fatalf("slot %d: channel %d outside the intersection", slot, ca)
+		}
+		seen[ca] = true
+	}
+	if len(seen) != len(common) {
+		t.Errorf("schedule used %d of %d common channels over 500 slots", len(seen), len(common))
+	}
+}
+
+func TestSharedScheduleOutOfOrderQueries(t *testing.T) {
+	s, err := rendezvous.NewSharedSchedule([]int{1, 2}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := s.Channel(40)
+	early := s.Channel(3)
+	if s.Channel(40) != late || s.Channel(3) != early {
+		t.Error("memoized schedule not stable across query order")
+	}
+}
+
+func TestSharedScheduleEmptyIntersection(t *testing.T) {
+	if _, err := rendezvous.NewSharedSchedule(nil, 1, 2); err == nil {
+		t.Error("empty intersection accepted")
+	}
+}
+
+func TestExpectedSlots(t *testing.T) {
+	if got := rendezvous.ExpectedSlots(10, 2); got != 50 {
+		t.Errorf("ExpectedSlots(10,2) = %v, want 50", got)
+	}
+}

@@ -1,0 +1,72 @@
+package rendezvous
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// SymmetricIDScan is a guaranteed deterministic rendezvous for the
+// *symmetric* setting: both nodes run identical code, know only their own
+// identifier, and use local channel labels. Pure anonymous determinism is
+// impossible here (two perfectly misaligned scanners never meet — see the
+// permanently misaligned two-node example in the baseline tests), so the
+// algorithm breaks symmetry with the one asymmetry the model guarantees:
+// distinct IDs.
+//
+// Time is divided into blocks of c·c + c slots, block b keyed to bit b of
+// the node's identifier (LSB first): in a block where its bit is 1 the node
+// plays the sweeper of AsymmetricScan, otherwise the dweller. Two distinct
+// identifiers differ in some bit position j <= bit-length, so in block j
+// the pair runs a genuine sweeper/dweller schedule and the AsymmetricScan
+// guarantee fires: rendezvous within (idBits)·(c²+c) slots, deterministic,
+// for any channel sets with nonempty overlap.
+//
+// This is the standard role-alternation construction the deterministic
+// rendezvous literature refines (e.g. Gu et al. [11] replace the plain
+// sweep with cleverer sequences to shave the bound); it gives this library
+// a guaranteed symmetric comparator for footnote 1's randomized hopping.
+func SymmetricIDScan(asn sim.Assignment, u, v sim.NodeID, idU, idV uint64, maxSlots int) (*Result, error) {
+	if err := checkPair(asn, u, v); err != nil {
+		return nil, err
+	}
+	if idU == idV {
+		return nil, fmt.Errorf("rendezvous: symmetric scan needs distinct ids, both are %d", idU)
+	}
+	chanAt := func(node sim.NodeID, id uint64, slot int) int {
+		set := asn.ChannelSet(node, slot)
+		c := len(set)
+		block := c*c + c
+		b := slot / block
+		within := slot % block
+		if (id>>uint(b%64))&1 == 1 {
+			// Sweeper: visit every channel once per dwell period.
+			return set[within%c]
+		}
+		// Dweller: sit on each channel for c consecutive slots.
+		return set[(within/c)%c]
+	}
+	for slot := 0; slot < maxSlots; slot++ {
+		cu := chanAt(u, idU, slot)
+		cv := chanAt(v, idV, slot)
+		if cu == cv {
+			return &Result{Slots: slot + 1, Met: true, Channel: cu}, nil
+		}
+	}
+	return &Result{Slots: maxSlots, Met: false, Channel: -1}, nil
+}
+
+// SymmetricIDScanBound returns the guaranteed deadline of SymmetricIDScan
+// for channel sets of size c and the given identifiers: by the first block
+// whose index is a differing bit position, the pair has met.
+func SymmetricIDScanBound(c int, idU, idV uint64) (int, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("rendezvous: set size %d must be positive", c)
+	}
+	if idU == idV {
+		return 0, fmt.Errorf("rendezvous: identical ids %d never break symmetry", idU)
+	}
+	j := bits.TrailingZeros64(idU ^ idV) // first differing bit
+	return (j + 1) * (c*c + c), nil
+}

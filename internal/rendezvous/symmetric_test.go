@@ -1,0 +1,112 @@
+package rendezvous_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/rendezvous"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestSymmetricIDScanGuarantee(t *testing.T) {
+	// For every instance tried, the pair must meet within the computed
+	// deadline — that is a *guarantee*, so a single miss is a failure.
+	type idPair struct{ u, v uint64 }
+	pairs := []idPair{{1, 2}, {7, 8}, {0, 1}, {0xffff, 0xfffe}, {5, 1 << 20}}
+	for _, p := range []struct{ c, k int }{{4, 1}, {8, 2}, {12, 1}} {
+		for _, ids := range pairs {
+			bound, err := rendezvous.SymmetricIDScanBound(p.c, ids.u, ids.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < 15; seed++ {
+				asn := twoSet(t, p.c, p.k, seed)
+				res, err := rendezvous.SymmetricIDScan(asn, 0, 1, ids.u, ids.v, bound)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Met {
+					t.Fatalf("c=%d k=%d ids=(%d,%d) seed=%d: missed the %d-slot guarantee",
+						p.c, p.k, ids.u, ids.v, seed, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricIDScanGuaranteeProperty(t *testing.T) {
+	prop := func(seed int64, cRaw, kRaw uint8, idU, idV uint16) bool {
+		c := int(cRaw%10) + 1
+		k := int(kRaw)%c + 1
+		if idU == idV {
+			return true // symmetry cannot be broken; excluded by contract
+		}
+		asn, err := assign.TwoSet(2, c, k, assign.LocalLabels, seed)
+		if err != nil {
+			return false
+		}
+		bound, err := rendezvous.SymmetricIDScanBound(c, uint64(idU), uint64(idV))
+		if err != nil {
+			return false
+		}
+		res, err := rendezvous.SymmetricIDScan(asn, 0, 1, uint64(idU), uint64(idV), bound)
+		return err == nil && res.Met
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricIDScanValidation(t *testing.T) {
+	asn := twoSet(t, 4, 1, 1)
+	if _, err := rendezvous.SymmetricIDScan(asn, 0, 1, 7, 7, 100); err == nil {
+		t.Error("identical ids accepted")
+	}
+	if _, err := rendezvous.SymmetricIDScan(asn, 0, 0, 1, 2, 100); err == nil {
+		t.Error("self pair accepted")
+	}
+	if _, err := rendezvous.SymmetricIDScanBound(0, 1, 2); err == nil {
+		t.Error("zero set size accepted")
+	}
+	if _, err := rendezvous.SymmetricIDScanBound(4, 3, 3); err == nil {
+		t.Error("identical ids accepted by bound")
+	}
+}
+
+func TestSymmetricIDScanBoundGrowsWithSharedPrefix(t *testing.T) {
+	// IDs differing only in a high bit pay more blocks.
+	low, err := rendezvous.SymmetricIDScanBound(8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := rendezvous.SymmetricIDScanBound(8, 0, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high != 11*low {
+		t.Errorf("bounds %d and %d; differing bit 10 should cost 11 blocks", low, high)
+	}
+}
+
+func TestSymmetricIDScanMeetingChannelShared(t *testing.T) {
+	asn := twoSet(t, 8, 3, 9)
+	res, err := rendezvous.SymmetricIDScan(asn, 0, 1, 21, 34, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("missed")
+	}
+	for _, node := range []int{0, 1} {
+		found := false
+		for _, ch := range asn.ChannelSet(sim.NodeID(node), 0) {
+			if ch == res.Channel {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("channel %d not in node %d's set", res.Channel, node)
+		}
+	}
+}

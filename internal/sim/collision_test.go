@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestAllDeliveredEveryMessageArrives(t *testing.T) {
+	const broadcasters = 3
+	asn := fullOverlap(t, broadcasters+1, 1)
+	nodes := make([]sim.Protocol, broadcasters+1)
+	scripts := make([]*scriptNode, broadcasters+1)
+	for i := 0; i < broadcasters; i++ {
+		s := &scriptNode{actions: []sim.Action{sim.Broadcast(0, i)}}
+		scripts[i] = s
+		nodes[i] = s
+	}
+	listener := &scriptNode{actions: []sim.Action{sim.Listen(0)}}
+	scripts[broadcasters] = listener
+	nodes[broadcasters] = listener
+
+	e, err := sim.NewEngine(asn, nodes, 1, sim.WithCollisionModel(sim.AllDelivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	// Every broadcaster succeeds with its own message.
+	for i := 0; i < broadcasters; i++ {
+		evs := scripts[i].events
+		if len(evs) != 1 || evs[0].Kind != sim.EvSendSucceeded || evs[0].From != sim.NodeID(i) {
+			t.Errorf("broadcaster %d events = %+v, want own EvSendSucceeded", i, evs)
+		}
+	}
+	// The listener receives all three messages.
+	if len(listener.events) != broadcasters {
+		t.Fatalf("listener got %d events, want %d", len(listener.events), broadcasters)
+	}
+	seen := make(map[any]bool)
+	for _, ev := range listener.events {
+		if ev.Kind != sim.EvReceived {
+			t.Errorf("listener event kind %v", ev.Kind)
+		}
+		seen[ev.Msg] = true
+	}
+	for i := 0; i < broadcasters; i++ {
+		if !seen[i] {
+			t.Errorf("message %d never delivered", i)
+		}
+	}
+}
+
+func TestAllDeliveredSilentChannelStillSilent(t *testing.T) {
+	asn := fullOverlap(t, 2, 1)
+	a := &scriptNode{actions: []sim.Action{sim.Listen(0)}}
+	b := &scriptNode{actions: []sim.Action{sim.Listen(0)}}
+	e, err := sim.NewEngine(asn, []sim.Protocol{a, b}, 1, sim.WithCollisionModel(sim.AllDelivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events)+len(b.events) != 0 {
+		t.Error("silent channel delivered events under AllDelivered")
+	}
+}
+
+func TestCollisionModelString(t *testing.T) {
+	if sim.UniformWinner.String() != "uniform-winner" || sim.AllDelivered.String() != "all-delivered" {
+		t.Error("CollisionModel.String mismatch")
+	}
+	if sim.CollisionModel(9).String() != "invalid" {
+		t.Error("invalid model should stringify as invalid")
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/cogradio/crn/internal/rng"
+)
+
+// ErrMaxSlots is returned by Engine.Run when the slot budget is exhausted
+// before every protocol reported Done.
+var ErrMaxSlots = errors.New("sim: slot budget exhausted before all nodes terminated")
+
+// ChannelOutcome describes what happened on one physical channel during one
+// slot. It is produced only when an Observer is attached.
+type ChannelOutcome struct {
+	// Channel is the physical channel index.
+	Channel int
+	// Broadcasters lists all nodes that transmitted on the channel.
+	Broadcasters []NodeID
+	// Winner is the broadcaster whose message was received, or None if the
+	// channel carried no transmission.
+	Winner NodeID
+	// Listeners lists all nodes that listened on the channel.
+	Listeners []NodeID
+}
+
+// Observer receives a per-slot report of all channels that saw activity
+// (at least one broadcaster or listener). Outcomes are sorted by channel and
+// are only valid for the duration of the call.
+type Observer interface {
+	OnSlot(slot int, outcomes []ChannelOutcome)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(slot int, outcomes []ChannelOutcome)
+
+// OnSlot implements Observer.
+func (f ObserverFunc) OnSlot(slot int, outcomes []ChannelOutcome) { f(slot, outcomes) }
+
+var _ Observer = (ObserverFunc)(nil)
+
+// Engine drives a set of protocol nodes through synchronous slots over a
+// channel assignment, resolving contention per the paper's collision model.
+// Engines are deterministic: the same assignment, protocols and seed yield
+// the same execution.
+type Engine struct {
+	asn        Assignment
+	nodes      []Protocol
+	rand       *rand.Rand
+	collisions CollisionModel
+
+	slot int
+	obs  Observer
+
+	// Per-slot scratch, reused across slots to avoid allocation.
+	acts      []Action
+	bcast     map[int][]NodeID // physical channel -> broadcasters
+	listen    map[int][]NodeID // physical channel -> listeners
+	active    []int            // physical channels touched this slot
+	activeSet map[int]struct{}
+}
+
+// CollisionModel selects how concurrent broadcasts on one channel resolve.
+type CollisionModel uint8
+
+const (
+	// UniformWinner is the paper's model (Section 2): one uniformly chosen
+	// message is delivered; losers learn they failed and receive the
+	// winner's message. This is the default.
+	UniformWinner CollisionModel = iota
+	// AllDelivered is the stronger model common in the cognitive radio
+	// literature (the paper's footnote 3): every concurrent message is
+	// received by every listener, and every broadcaster succeeds. Useful
+	// for ablations; COGCOMP's census phase assumes UniformWinner.
+	AllDelivered
+)
+
+// String returns the model's name.
+func (m CollisionModel) String() string {
+	switch m {
+	case UniformWinner:
+		return "uniform-winner"
+	case AllDelivered:
+		return "all-delivered"
+	default:
+		return "invalid"
+	}
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithObserver attaches an observer that is invoked after every slot.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.obs = o }
+}
+
+// WithCollisionModel selects the contention semantics (default
+// UniformWinner).
+func WithCollisionModel(m CollisionModel) Option {
+	return func(e *Engine) { e.collisions = m }
+}
+
+// NewEngine creates an engine over the given assignment and one protocol per
+// node. len(nodes) must equal asn.Nodes(). The seed determines all collision
+// tie-breaking; protocols are expected to derive their own streams from the
+// same root seed via package rng.
+func NewEngine(asn Assignment, nodes []Protocol, seed int64, opts ...Option) (*Engine, error) {
+	if asn == nil {
+		return nil, errors.New("sim: nil assignment")
+	}
+	if got, want := len(nodes), asn.Nodes(); got != want {
+		return nil, fmt.Errorf("sim: got %d protocols for %d nodes", got, want)
+	}
+	for i, p := range nodes {
+		if p == nil {
+			return nil, fmt.Errorf("sim: protocol for node %d is nil", i)
+		}
+	}
+	e := &Engine{
+		asn:       asn,
+		nodes:     nodes,
+		rand:      rng.New(seed, int64(len(nodes)), 0x5e5),
+		acts:      make([]Action, len(nodes)),
+		bcast:     make(map[int][]NodeID),
+		listen:    make(map[int][]NodeID),
+		activeSet: make(map[int]struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Slot returns the number of slots executed so far.
+func (e *Engine) Slot() int { return e.slot }
+
+// AllDone reports whether every protocol has terminated.
+func (e *Engine) AllDone() bool {
+	for _, p := range e.nodes {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSlot executes exactly one slot: collects actions, resolves each channel,
+// and delivers feedback. It returns an error if any protocol produced an
+// invalid action (out-of-range local channel index).
+func (e *Engine) RunSlot() error {
+	slot := e.slot
+	e.slot++
+
+	e.touchReset()
+
+	// Phase A: collect actions and bucket nodes by physical channel.
+	for i, p := range e.nodes {
+		if p.Done() {
+			e.acts[i] = Idle()
+			continue
+		}
+		act := p.Step(slot)
+		e.acts[i] = act
+		if act.Op == OpIdle {
+			continue
+		}
+		set := e.asn.ChannelSet(NodeID(i), slot)
+		if act.Channel < 0 || act.Channel >= len(set) {
+			return fmt.Errorf("sim: slot %d: node %d chose local channel %d outside [0,%d)",
+				slot, i, act.Channel, len(set))
+		}
+		phys := set[act.Channel]
+		e.touch(phys)
+		switch act.Op {
+		case OpListen:
+			e.listen[phys] = append(e.listen[phys], NodeID(i))
+		case OpBroadcast:
+			e.bcast[phys] = append(e.bcast[phys], NodeID(i))
+		default:
+			return fmt.Errorf("sim: slot %d: node %d produced invalid op %d", slot, i, act.Op)
+		}
+	}
+
+	// Phase B: resolve channels in deterministic (sorted) order.
+	sort.Ints(e.active)
+	var outcomes []ChannelOutcome
+	if e.obs != nil {
+		outcomes = make([]ChannelOutcome, 0, len(e.active))
+	}
+	for _, ch := range e.active {
+		bs := e.bcast[ch]
+		winner := None
+		if len(bs) > 0 {
+			switch e.collisions {
+			case AllDelivered:
+				// Footnote-3 semantics: every message goes through.
+				winner = bs[0]
+				for _, b := range bs {
+					e.deliver(b, slot, Event{Kind: EvSendSucceeded, From: b, Msg: e.acts[b].Msg, Channel: e.acts[b].Channel})
+				}
+				for _, l := range e.listen[ch] {
+					for _, b := range bs {
+						e.deliver(l, slot, Event{Kind: EvReceived, From: b, Msg: e.acts[b].Msg, Channel: e.acts[l].Channel})
+					}
+				}
+			default:
+				winner = bs[e.rand.Intn(len(bs))]
+				msg := e.acts[winner].Msg
+				for _, b := range bs {
+					if b == winner {
+						e.deliver(b, slot, Event{Kind: EvSendSucceeded, From: winner, Msg: msg, Channel: e.acts[b].Channel})
+					} else {
+						e.deliver(b, slot, Event{Kind: EvSendFailed, From: winner, Msg: msg, Channel: e.acts[b].Channel})
+					}
+				}
+				for _, l := range e.listen[ch] {
+					e.deliver(l, slot, Event{Kind: EvReceived, From: winner, Msg: msg, Channel: e.acts[l].Channel})
+				}
+			}
+		}
+		if e.obs != nil {
+			outcomes = append(outcomes, ChannelOutcome{
+				Channel:      ch,
+				Broadcasters: bs,
+				Winner:       winner,
+				Listeners:    e.listen[ch],
+			})
+		}
+	}
+	if e.obs != nil {
+		e.obs.OnSlot(slot, outcomes)
+	}
+	return nil
+}
+
+// Run executes slots until every protocol is done or maxSlots slots have
+// been executed in total (across all Run/RunSlot calls). It returns the
+// total slot count so far. If the budget runs out first it returns
+// ErrMaxSlots; the engine remains usable, so callers may extend the budget
+// and continue.
+func (e *Engine) Run(maxSlots int) (int, error) {
+	for !e.AllDone() {
+		if e.slot >= maxSlots {
+			return e.slot, ErrMaxSlots
+		}
+		if err := e.RunSlot(); err != nil {
+			return e.slot, err
+		}
+	}
+	return e.slot, nil
+}
+
+// RunWhile executes slots while cond returns true and the slot budget lasts.
+// cond is evaluated before each slot. It returns the total slot count.
+func (e *Engine) RunWhile(maxSlots int, cond func() bool) (int, error) {
+	for cond() {
+		if e.slot >= maxSlots {
+			return e.slot, ErrMaxSlots
+		}
+		if err := e.RunSlot(); err != nil {
+			return e.slot, err
+		}
+	}
+	return e.slot, nil
+}
+
+func (e *Engine) deliver(id NodeID, slot int, ev Event) {
+	e.nodes[id].Deliver(slot, ev)
+}
+
+func (e *Engine) touch(phys int) {
+	if _, ok := e.activeSet[phys]; !ok {
+		e.activeSet[phys] = struct{}{}
+		e.active = append(e.active, phys)
+	}
+}
+
+func (e *Engine) touchReset() {
+	for _, ch := range e.active {
+		delete(e.activeSet, ch)
+		e.bcast[ch] = e.bcast[ch][:0]
+		e.listen[ch] = e.listen[ch][:0]
+	}
+	e.active = e.active[:0]
+}

@@ -1,0 +1,466 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// scriptNode is a test protocol that replays a fixed list of actions and
+// records every delivered event.
+type scriptNode struct {
+	actions []sim.Action
+	events  []sim.Event
+	slots   []int
+}
+
+func (s *scriptNode) Step(slot int) sim.Action {
+	if slot >= len(s.actions) {
+		return sim.Idle()
+	}
+	return s.actions[slot]
+}
+
+func (s *scriptNode) Deliver(slot int, ev sim.Event) {
+	s.events = append(s.events, ev)
+	s.slots = append(s.slots, slot)
+}
+
+func (s *scriptNode) Done() bool { return false }
+
+func fullOverlap(t *testing.T, n, c int) *assign.Static {
+	t.Helper()
+	asn, err := assign.FullOverlap(n, c, assign.GlobalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asn
+}
+
+func newEngine(t *testing.T, asn sim.Assignment, nodes []sim.Protocol, seed int64, opts ...sim.Option) *sim.Engine {
+	t.Helper()
+	e, err := sim.NewEngine(asn, nodes, seed, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSingleBroadcasterReachesAllListeners(t *testing.T) {
+	const n, c = 5, 3
+	asn := fullOverlap(t, n, c)
+	nodes := make([]sim.Protocol, n)
+	scripts := make([]*scriptNode, n)
+	for i := range nodes {
+		s := &scriptNode{}
+		if i == 0 {
+			s.actions = []sim.Action{sim.Broadcast(1, "hello")}
+		} else {
+			s.actions = []sim.Action{sim.Listen(1)}
+		}
+		scripts[i] = s
+		nodes[i] = s
+	}
+	e := newEngine(t, asn, nodes, 7)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts[0].events) != 1 || scripts[0].events[0].Kind != sim.EvSendSucceeded {
+		t.Fatalf("broadcaster events = %+v, want one EvSendSucceeded", scripts[0].events)
+	}
+	for i := 1; i < n; i++ {
+		evs := scripts[i].events
+		if len(evs) != 1 {
+			t.Fatalf("listener %d got %d events, want 1", i, len(evs))
+		}
+		ev := evs[0]
+		if ev.Kind != sim.EvReceived || ev.From != 0 || ev.Msg != "hello" || ev.Channel != 1 {
+			t.Errorf("listener %d event = %+v", i, ev)
+		}
+	}
+}
+
+func TestCollisionExactlyOneWinner(t *testing.T) {
+	const n, c = 6, 2
+	asn := fullOverlap(t, n, c)
+	nodes := make([]sim.Protocol, n)
+	scripts := make([]*scriptNode, n)
+	for i := range nodes {
+		s := &scriptNode{actions: []sim.Action{sim.Broadcast(0, i)}}
+		if i == n-1 {
+			s.actions = []sim.Action{sim.Listen(0)}
+		}
+		scripts[i] = s
+		nodes[i] = s
+	}
+	e := newEngine(t, asn, nodes, 3)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	winners := 0
+	var winner sim.NodeID
+	for i := 0; i < n-1; i++ {
+		evs := scripts[i].events
+		if len(evs) != 1 {
+			t.Fatalf("broadcaster %d got %d events, want 1", i, len(evs))
+		}
+		switch evs[0].Kind {
+		case sim.EvSendSucceeded:
+			winners++
+			winner = sim.NodeID(i)
+		case sim.EvSendFailed:
+			// Failed broadcasters must receive the winning message.
+			if evs[0].Msg == nil {
+				t.Errorf("broadcaster %d failed but got no winning message", i)
+			}
+		default:
+			t.Errorf("broadcaster %d got unexpected event %v", i, evs[0].Kind)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("got %d winners, want exactly 1", winners)
+	}
+	// Everyone (listener and losers) must have received the winner's message.
+	wantMsg := any(int(winner))
+	for i := 0; i < n; i++ {
+		if sim.NodeID(i) == winner {
+			continue
+		}
+		ev := scripts[i].events[0]
+		if ev.Msg != wantMsg || ev.From != winner {
+			t.Errorf("node %d saw msg=%v from=%v, want msg=%v from=%v", i, ev.Msg, ev.From, wantMsg, winner)
+		}
+	}
+}
+
+func TestWinnerUniformity(t *testing.T) {
+	// Over many independently seeded slots, each of 4 contenders should win
+	// roughly 1/4 of the time. This exercises the uniform-winner clause of
+	// the collision model.
+	const contenders = 4
+	const trials = 4000
+	wins := make([]int, contenders)
+	for trial := 0; trial < trials; trial++ {
+		asn := fullOverlap(t, contenders, 1)
+		nodes := make([]sim.Protocol, contenders)
+		scripts := make([]*scriptNode, contenders)
+		for i := range nodes {
+			s := &scriptNode{actions: []sim.Action{sim.Broadcast(0, i)}}
+			scripts[i] = s
+			nodes[i] = s
+		}
+		e := newEngine(t, asn, nodes, int64(trial))
+		if err := e.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range scripts {
+			if s.events[0].Kind == sim.EvSendSucceeded {
+				wins[i]++
+			}
+		}
+	}
+	want := trials / contenders
+	for i, w := range wins {
+		if w < want*8/10 || w > want*12/10 {
+			t.Errorf("contender %d won %d of %d slots, want about %d", i, w, trials, want)
+		}
+	}
+}
+
+func TestNoBroadcasterNoEvents(t *testing.T) {
+	asn := fullOverlap(t, 3, 2)
+	nodes := make([]sim.Protocol, 3)
+	scripts := make([]*scriptNode, 3)
+	for i := range nodes {
+		s := &scriptNode{actions: []sim.Action{sim.Listen(0)}}
+		scripts[i] = s
+		nodes[i] = s
+	}
+	e := newEngine(t, asn, nodes, 1)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scripts {
+		if len(s.events) != 0 {
+			t.Errorf("silent listener %d received events %+v", i, s.events)
+		}
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	// Broadcasts on channel 0 must not reach listeners on channel 1.
+	asn := fullOverlap(t, 3, 2)
+	a := &scriptNode{actions: []sim.Action{sim.Broadcast(0, "a")}}
+	b := &scriptNode{actions: []sim.Action{sim.Listen(1)}}
+	c := &scriptNode{actions: []sim.Action{sim.Listen(0)}}
+	e := newEngine(t, asn, []sim.Protocol{a, b, c}, 1)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.events) != 0 {
+		t.Errorf("listener on other channel received %+v", b.events)
+	}
+	if len(c.events) != 1 || c.events[0].Msg != "a" {
+		t.Errorf("co-channel listener got %+v, want message a", c.events)
+	}
+}
+
+func TestLocalChannelTranslation(t *testing.T) {
+	// Two nodes with different local orderings of the same physical
+	// channels must still meet when their local indices map to the same
+	// physical channel.
+	sets := [][]int{{5, 9}, {9, 5}}
+	asn := staticFromSets(t, sets, 10, 2, 2)
+	a := &scriptNode{actions: []sim.Action{sim.Broadcast(0, "x")}} // physical 5
+	b := &scriptNode{actions: []sim.Action{sim.Listen(1)}}         // physical 5
+	e := newEngine(t, asn, []sim.Protocol{a, b}, 1)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.events) != 1 || b.events[0].Msg != "x" {
+		t.Fatalf("node b events = %+v, want the message on shared physical channel", b.events)
+	}
+	// Event carries b's *local* index (1), not the physical id (5).
+	if b.events[0].Channel != 1 {
+		t.Errorf("event channel = %d, want local index 1", b.events[0].Channel)
+	}
+}
+
+// staticSets is a minimal sim.Assignment for hand-built channel sets.
+type staticSets struct {
+	sets    [][]int
+	total   int
+	perNode int
+	overlap int
+}
+
+func (s *staticSets) Nodes() int                           { return len(s.sets) }
+func (s *staticSets) Channels() int                        { return s.total }
+func (s *staticSets) PerNode() int                         { return s.perNode }
+func (s *staticSets) MinOverlap() int                      { return s.overlap }
+func (s *staticSets) ChannelSet(n sim.NodeID, _ int) []int { return s.sets[n] }
+
+func staticFromSets(t *testing.T, sets [][]int, total, perNode, overlap int) sim.Assignment {
+	t.Helper()
+	return &staticSets{sets: sets, total: total, perNode: perNode, overlap: overlap}
+}
+
+func TestInvalidChannelIndexFails(t *testing.T) {
+	asn := fullOverlap(t, 2, 2)
+	bad := &scriptNode{actions: []sim.Action{sim.Listen(5)}}
+	ok := &scriptNode{actions: []sim.Action{sim.Idle()}}
+	e := newEngine(t, asn, []sim.Protocol{bad, ok}, 1)
+	if err := e.RunSlot(); err == nil {
+		t.Fatal("engine accepted out-of-range local channel index")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	asn := fullOverlap(t, 2, 2)
+	if _, err := sim.NewEngine(nil, nil, 1); err == nil {
+		t.Error("nil assignment accepted")
+	}
+	if _, err := sim.NewEngine(asn, []sim.Protocol{&scriptNode{}}, 1); err == nil {
+		t.Error("protocol count mismatch accepted")
+	}
+	if _, err := sim.NewEngine(asn, []sim.Protocol{nil, nil}, 1); err == nil {
+		t.Error("nil protocol accepted")
+	}
+}
+
+// doneAfter terminates after a fixed number of steps.
+type doneAfter struct {
+	left int
+}
+
+func (d *doneAfter) Step(int) sim.Action {
+	d.left--
+	return sim.Listen(0)
+}
+func (d *doneAfter) Deliver(int, sim.Event) {}
+func (d *doneAfter) Done() bool             { return d.left <= 0 }
+
+func TestRunStopsWhenAllDone(t *testing.T) {
+	asn := fullOverlap(t, 2, 1)
+	e := newEngine(t, asn, []sim.Protocol{&doneAfter{left: 3}, &doneAfter{left: 5}}, 1)
+	slots, err := e.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots != 5 {
+		t.Errorf("ran %d slots, want 5 (slowest node)", slots)
+	}
+	if !e.AllDone() {
+		t.Error("engine not AllDone after Run")
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	asn := fullOverlap(t, 1, 1)
+	e := newEngine(t, asn, []sim.Protocol{&scriptNode{}}, 1) // never done
+	slots, err := e.Run(10)
+	if !errors.Is(err, sim.ErrMaxSlots) {
+		t.Fatalf("err = %v, want ErrMaxSlots", err)
+	}
+	if slots != 10 {
+		t.Errorf("ran %d slots, want 10", slots)
+	}
+	// Budget can be extended and the engine continues.
+	slots, err = e.Run(20)
+	if !errors.Is(err, sim.ErrMaxSlots) || slots != 20 {
+		t.Errorf("after extension: slots=%d err=%v", slots, err)
+	}
+}
+
+func TestDoneNodesAreSkipped(t *testing.T) {
+	asn := fullOverlap(t, 2, 1)
+	done := &doneAfter{left: 0} // done from the start
+	listener := &scriptNode{actions: []sim.Action{sim.Listen(0), sim.Listen(0)}}
+	e := newEngine(t, asn, []sim.Protocol{done, listener}, 1)
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(listener.events) != 0 {
+		t.Errorf("done node still transmitted: %+v", listener.events)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []sim.NodeID {
+		const n = 8
+		asn := fullOverlap(t, n, 1)
+		nodes := make([]sim.Protocol, n)
+		scripts := make([]*scriptNode, n)
+		for i := range nodes {
+			acts := make([]sim.Action, 10)
+			for s := range acts {
+				acts[s] = sim.Broadcast(0, i)
+			}
+			scripts[i] = &scriptNode{actions: acts}
+			nodes[i] = scripts[i]
+		}
+		e := newEngine(t, asn, nodes, seed)
+		var winners []sim.NodeID
+		obsRun(t, e, 10, scripts, &winners)
+		return winners
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d: winner %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical winner sequences")
+	}
+}
+
+func obsRun(t *testing.T, e *sim.Engine, slots int, scripts []*scriptNode, winners *[]sim.NodeID) {
+	t.Helper()
+	for s := 0; s < slots; s++ {
+		if err := e.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+		for i, sc := range scripts {
+			if len(sc.events) > s && sc.events[s].Kind == sim.EvSendSucceeded {
+				*winners = append(*winners, sim.NodeID(i))
+			}
+		}
+	}
+}
+
+func TestObserverOutcomes(t *testing.T) {
+	asn := fullOverlap(t, 4, 2)
+	nodes := []sim.Protocol{
+		&scriptNode{actions: []sim.Action{sim.Broadcast(0, "m")}},
+		&scriptNode{actions: []sim.Action{sim.Broadcast(0, "n")}},
+		&scriptNode{actions: []sim.Action{sim.Listen(0)}},
+		&scriptNode{actions: []sim.Action{sim.Listen(1)}},
+	}
+	var got []sim.ChannelOutcome
+	obs := sim.ObserverFunc(func(slot int, outcomes []sim.ChannelOutcome) {
+		got = append([]sim.ChannelOutcome(nil), outcomes...)
+	})
+	e := newEngine(t, asn, nodes, 5, sim.WithObserver(obs))
+	if err := e.RunSlot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d channels, want 2", len(got))
+	}
+	ch0 := got[0]
+	if ch0.Channel != 0 || len(ch0.Broadcasters) != 2 || len(ch0.Listeners) != 1 {
+		t.Errorf("channel 0 outcome = %+v", ch0)
+	}
+	if ch0.Winner != 0 && ch0.Winner != 1 {
+		t.Errorf("winner = %v, want one of the broadcasters", ch0.Winner)
+	}
+	ch1 := got[1]
+	if ch1.Channel != 1 || ch1.Winner != sim.None || len(ch1.Listeners) != 1 {
+		t.Errorf("channel 1 outcome = %+v", ch1)
+	}
+}
+
+func TestNodeView(t *testing.T) {
+	asn := fullOverlap(t, 3, 4)
+	v := sim.View(asn, 2)
+	if v.ID() != 2 {
+		t.Errorf("ID = %v, want 2", v.ID())
+	}
+	if got := v.NumChannels(0); got != 4 {
+		t.Errorf("NumChannels = %d, want 4", got)
+	}
+}
+
+func TestOpAndEventKindStrings(t *testing.T) {
+	if sim.OpBroadcast.String() != "broadcast" || sim.OpListen.String() != "listen" || sim.OpIdle.String() != "idle" {
+		t.Error("Op.String mismatch")
+	}
+	if sim.Op(99).String() != "invalid" {
+		t.Error("invalid Op should stringify as invalid")
+	}
+	if sim.EvReceived.String() != "received" || sim.EvSendSucceeded.String() != "send-succeeded" || sim.EvSendFailed.String() != "send-failed" {
+		t.Error("EventKind.String mismatch")
+	}
+	if sim.EventKind(99).String() != "invalid" {
+		t.Error("invalid EventKind should stringify as invalid")
+	}
+}
+
+func TestNodeViewDynamicSizes(t *testing.T) {
+	// A view over a variable-size assignment must report the per-slot size.
+	sets := map[int][][]int{
+		0: {{0, 1, 2}, {3}},
+		1: {{0, 1}, {3, 4, 5, 6}},
+	}
+	asn := &slotVarying{sets: sets}
+	v := sim.View(asn, 1)
+	if v.NumChannels(0) != 1 || v.NumChannels(1) != 4 {
+		t.Errorf("node 1 sizes = (%d, %d), want (1, 4)", v.NumChannels(0), v.NumChannels(1))
+	}
+}
+
+// slotVarying returns different channel sets per slot.
+type slotVarying struct {
+	sets map[int][][]int // slot -> per-node sets
+}
+
+func (s *slotVarying) Nodes() int      { return 2 }
+func (s *slotVarying) Channels() int   { return 8 }
+func (s *slotVarying) PerNode() int    { return 4 }
+func (s *slotVarying) MinOverlap() int { return 1 }
+func (s *slotVarying) ChannelSet(n sim.NodeID, slot int) []int {
+	return s.sets[slot][n]
+}

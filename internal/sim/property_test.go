@@ -1,0 +1,146 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// chaosNode takes random actions every slot and records all feedback —
+// fodder for property tests of the engine's conservation laws.
+type chaosNode struct {
+	rand   interface{ Intn(int) int }
+	c      int
+	events []sim.Event
+	lastOp sim.Op
+}
+
+func (n *chaosNode) Step(int) sim.Action {
+	n.events = n.events[:0]
+	switch n.rand.Intn(3) {
+	case 0:
+		n.lastOp = sim.OpIdle
+		return sim.Idle()
+	case 1:
+		n.lastOp = sim.OpListen
+		return sim.Listen(n.rand.Intn(n.c))
+	default:
+		n.lastOp = sim.OpBroadcast
+		return sim.Broadcast(n.rand.Intn(n.c), "x")
+	}
+}
+
+func (n *chaosNode) Deliver(_ int, ev sim.Event) { n.events = append(n.events, ev) }
+func (n *chaosNode) Done() bool                  { return false }
+
+// TestEngineConservationProperties drives random traffic and asserts the
+// collision model's invariants after every slot:
+//
+//  1. a node receives at most one event per slot (uniform-winner model);
+//  2. idle nodes receive nothing;
+//  3. broadcasters receive exactly one send outcome;
+//  4. per run, winners are broadcasters (EvSendSucceeded implies the node
+//     transmitted that slot).
+func TestEngineConservationProperties(t *testing.T) {
+	prop := func(seedRaw int64, nRaw, cRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		c := int(cRaw%6) + 1
+		asn, err := assign.FullOverlap(n, c, assign.LocalLabels, seedRaw)
+		if err != nil {
+			return false
+		}
+		nodes := make([]*chaosNode, n)
+		protos := make([]sim.Protocol, n)
+		for i := range nodes {
+			nodes[i] = &chaosNode{rand: rng.New(seedRaw, int64(i)), c: c}
+			protos[i] = nodes[i]
+		}
+		eng, err := sim.NewEngine(asn, protos, seedRaw)
+		if err != nil {
+			return false
+		}
+		for slot := 0; slot < 20; slot++ {
+			if err := eng.RunSlot(); err != nil {
+				return false
+			}
+			for _, nd := range nodes {
+				if len(nd.events) > 1 {
+					return false // at most one event per node per slot
+				}
+				for _, ev := range nd.events {
+					switch nd.lastOp {
+					case sim.OpIdle:
+						return false // idle nodes hear nothing
+					case sim.OpListen:
+						if ev.Kind != sim.EvReceived {
+							return false
+						}
+					case sim.OpBroadcast:
+						if ev.Kind != sim.EvSendSucceeded && ev.Kind != sim.EvSendFailed {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineOneWinnerPerChannelProperty checks, via the observer, that
+// every active channel resolves to exactly one winner among its
+// broadcasters (or none when nobody transmits).
+func TestEngineOneWinnerPerChannelProperty(t *testing.T) {
+	prop := func(seedRaw int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		const c = 3
+		asn, err := assign.FullOverlap(n, c, assign.LocalLabels, seedRaw)
+		if err != nil {
+			return false
+		}
+		protos := make([]sim.Protocol, n)
+		for i := range protos {
+			protos[i] = &chaosNode{rand: rng.New(seedRaw, int64(i), 7), c: c}
+		}
+		valid := true
+		obs := sim.ObserverFunc(func(_ int, outcomes []sim.ChannelOutcome) {
+			for _, oc := range outcomes {
+				if len(oc.Broadcasters) == 0 {
+					if oc.Winner != sim.None {
+						valid = false
+					}
+					continue
+				}
+				found := false
+				for _, b := range oc.Broadcasters {
+					if b == oc.Winner {
+						found = true
+						break
+					}
+				}
+				if !found {
+					valid = false
+				}
+			}
+		})
+		eng, err := sim.NewEngine(asn, protos, seedRaw, sim.WithObserver(obs))
+		if err != nil {
+			return false
+		}
+		for slot := 0; slot < 15; slot++ {
+			if err := eng.RunSlot(); err != nil {
+				return false
+			}
+		}
+		return valid
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

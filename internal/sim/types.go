@@ -1,0 +1,148 @@
+// Package sim implements the synchronous slotted radio model of Gilbert,
+// Kuhn, Newport and Zheng (PODC 2015): a single-hop cognitive radio network
+// in which, per slot, every node tunes to one of its available channels and
+// either broadcasts or listens.
+//
+// The collision model follows Section 2 of the paper exactly: if several
+// nodes broadcast concurrently on one channel, one of their messages —
+// chosen uniformly at random — is received by every listener on that
+// channel. Every broadcaster learns whether it succeeded, and each failed
+// broadcaster also receives the winning message. (The paper argues this
+// abstraction is implementable with poly-logarithmic overhead via standard
+// backoff; package backoff reproduces that claim empirically.)
+package sim
+
+// NodeID identifies a node. Nodes are numbered 0..n-1 and IDs double as the
+// "unique identity" the model grants every node.
+type NodeID int
+
+// None is the sentinel NodeID meaning "no node" (e.g. no winner on an idle
+// channel).
+const None NodeID = -1
+
+// Op is what a node does with its radio during one slot.
+type Op uint8
+
+// Radio operations. OpIdle means the node does not touch the medium at all
+// (a terminated node); OpListen tunes to a channel and receives; OpBroadcast
+// transmits a message on a channel.
+const (
+	OpIdle Op = iota
+	OpListen
+	OpBroadcast
+)
+
+// String returns a short human-readable name for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpIdle:
+		return "idle"
+	case OpListen:
+		return "listen"
+	case OpBroadcast:
+		return "broadcast"
+	default:
+		return "invalid"
+	}
+}
+
+// Message is an opaque protocol payload. Protocols define their own concrete
+// message types and type-switch on delivery. Messages must be treated as
+// immutable once handed to the engine.
+type Message any
+
+// Action is a node's decision for one slot. Channel is a *local* channel
+// index in [0, c): the engine translates it to a physical channel through
+// the node's assignment, so protocols can be written against local labels
+// only, exactly as the model prescribes.
+type Action struct {
+	Op      Op
+	Channel int
+	Msg     Message
+}
+
+// Idle returns the action of a node that has terminated or sleeps this slot.
+func Idle() Action { return Action{Op: OpIdle} }
+
+// Listen returns the action of listening on local channel ch.
+func Listen(ch int) Action { return Action{Op: OpListen, Channel: ch} }
+
+// Broadcast returns the action of broadcasting msg on local channel ch.
+func Broadcast(ch int, msg Message) Action {
+	return Action{Op: OpBroadcast, Channel: ch, Msg: msg}
+}
+
+// EventKind classifies feedback delivered to a node after a slot resolves.
+type EventKind uint8
+
+// Event kinds. EvReceived is delivered to listeners that heard a message.
+// EvSendSucceeded is delivered to the (unique) winning broadcaster on a
+// contended channel. EvSendFailed is delivered to losing broadcasters and
+// carries the winning message, per the model.
+const (
+	EvReceived EventKind = iota + 1
+	EvSendSucceeded
+	EvSendFailed
+)
+
+// String returns a short human-readable name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvReceived:
+		return "received"
+	case EvSendSucceeded:
+		return "send-succeeded"
+	case EvSendFailed:
+		return "send-failed"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is the feedback a node receives after a slot. From is the sender of
+// Msg (the winning broadcaster). Channel is the node's own *local* index of
+// the channel on which the event happened, so protocols never observe
+// physical channel identities.
+type Event struct {
+	Kind    EventKind
+	From    NodeID
+	Msg     Message
+	Channel int
+}
+
+// Protocol is the behavior of one node. The engine drives all nodes in
+// lockstep: each slot it calls Step on every non-done node, resolves the
+// medium, then calls Deliver for every node that received feedback. A node
+// for which Done reports true is skipped entirely (its radio is off).
+//
+// Step and Deliver are always invoked from a single goroutine; protocol
+// implementations need no internal locking.
+type Protocol interface {
+	// Step returns the node's action for the given slot.
+	Step(slot int) Action
+	// Deliver reports the outcome of the node's action in the given slot.
+	// It is called at most once per slot, and only when there is feedback:
+	// silent listening (nothing broadcast on the channel) produces no call.
+	Deliver(slot int, ev Event)
+	// Done reports whether the node has terminated.
+	Done() bool
+}
+
+// Assignment describes which physical channels each node may use in each
+// slot. Implementations live in package assign; the interface is defined
+// here so the engine does not depend on generators.
+type Assignment interface {
+	// Nodes returns n, the number of nodes.
+	Nodes() int
+	// Channels returns C, the number of physical channels.
+	Channels() int
+	// PerNode returns c, the number of channels available to each node.
+	PerNode() int
+	// MinOverlap returns k, the guaranteed pairwise overlap.
+	MinOverlap() int
+	// ChannelSet returns the node's channel set for the given slot as a
+	// slice mapping local index -> physical channel. The returned slice is
+	// owned by the assignment and must not be mutated; for static
+	// assignments it is independent of slot.
+	ChannelSet(node NodeID, slot int) []int
+}

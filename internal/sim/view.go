@@ -1,0 +1,26 @@
+package sim
+
+// NodeView is the slice of an assignment visible to a single node: how many
+// channels it has in a given slot, and nothing else. Protocol constructors
+// take a NodeView so nodes can size their random channel choices without
+// ever seeing physical channel identities or other nodes' sets — the same
+// informational restriction the model places on real devices.
+type NodeView struct {
+	asn Assignment
+	id  NodeID
+}
+
+// View returns the NodeView of node id under asn.
+func View(asn Assignment, id NodeID) NodeView {
+	return NodeView{asn: asn, id: id}
+}
+
+// ID returns the node's identity.
+func (v NodeView) ID() NodeID { return v.id }
+
+// NumChannels returns the size of the node's channel set in the given slot.
+// For static assignments this is constant and equal to c; for dynamic or
+// jammed assignments it may vary per slot.
+func (v NodeView) NumChannels(slot int) int {
+	return len(v.asn.ChannelSet(v.id, slot))
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summaries of repeated-trial measurements and least-squares
+// fits for verifying predicted scaling shapes (e.g. slots vs (c/k)·lg n).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a computation receives no samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P99:    Quantile(sorted, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval for the mean of the summarized sample.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f±%.2f median=%.2f [%.2f,%.2f]",
+		s.N, s.Mean, s.CI95(), s.Median, s.Min, s.Max)
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y against x by ordinary least squares. The harness uses it
+// to check predicted scaling: regressing measured slots against the
+// theory's predictor (e.g. (c/k)·lg n) should give R² near 1 and a stable
+// slope (the hidden constant).
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrEmpty
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: x has zero variance")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// Ratio returns y/x guarding against division by zero.
+func Ratio(y, x float64) float64 {
+	if x == 0 {
+		return math.NaN()
+	}
+	return y / x
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Error("CI95 of a single sample should be infinite")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		q := float64(qRaw) / 255
+		got := Quantile(sorted, q)
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero x-variance accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("division by zero should be NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "median=2.00") {
+		t.Errorf("String() = %q", str)
+	}
+}

@@ -1,0 +1,160 @@
+// Package tree analyzes the distribution tree that COGCAST implicitly
+// builds (Section 5): each node's parent is the node that first informed
+// it, with the source as root. COGCOMP aggregates over this tree; the
+// analyses here validate its structure and extract the statistics the
+// paper's phase-four argument relies on (cluster sizes sum to at most n,
+// depths, child counts).
+package tree
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Tree is a rooted parent-pointer tree over nodes 0..n-1. Nodes whose
+// parent is sim.None and are not the root are considered unreached
+// (uninformed) — a valid, if undesirable, outcome of a truncated broadcast.
+type Tree struct {
+	root    sim.NodeID
+	parents []sim.NodeID
+	depth   []int // -1 for unreached
+}
+
+// New validates parent pointers and builds a Tree. It rejects a root with a
+// parent, out-of-range parents, self-loops, cycles, and chains that end at
+// an unreached node instead of the root.
+func New(root sim.NodeID, parents []sim.NodeID) (*Tree, error) {
+	n := len(parents)
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("tree: root %d outside [0,%d)", root, n)
+	}
+	if parents[root] != sim.None {
+		return nil, fmt.Errorf("tree: root %d has parent %d", root, parents[root])
+	}
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -2 // unknown
+	}
+	depth[root] = 0
+	for v := 0; v < n; v++ {
+		if _, err := resolveDepth(sim.NodeID(v), root, parents, depth); err != nil {
+			return nil, err
+		}
+	}
+	return &Tree{root: root, parents: parents, depth: depth}, nil
+}
+
+func resolveDepth(v, root sim.NodeID, parents []sim.NodeID, depth []int) (int, error) {
+	if depth[v] >= -1 {
+		return depth[v], nil
+	}
+	// Walk up collecting the path; cap at n hops to detect cycles.
+	path := []sim.NodeID{v}
+	cur := v
+	for {
+		p := parents[cur]
+		if p == sim.None {
+			// cur is unreached (and is not the root, else depth were set).
+			for _, u := range path {
+				depth[u] = -1
+			}
+			return -1, nil
+		}
+		if p < 0 || int(p) >= len(parents) {
+			return 0, fmt.Errorf("tree: node %d has out-of-range parent %d", cur, p)
+		}
+		if p == cur {
+			return 0, fmt.Errorf("tree: node %d is its own parent", cur)
+		}
+		if depth[p] >= 0 {
+			d := depth[p]
+			for i := len(path) - 1; i >= 0; i-- {
+				d++
+				depth[path[i]] = d
+			}
+			return depth[v], nil
+		}
+		if depth[p] == -1 {
+			return 0, fmt.Errorf("tree: node %d hangs off unreached node %d", cur, p)
+		}
+		if len(path) > len(parents) {
+			return 0, fmt.Errorf("tree: cycle detected through node %d", v)
+		}
+		path = append(path, p)
+		cur = p
+	}
+}
+
+// Root returns the tree's root.
+func (t *Tree) Root() sim.NodeID { return t.root }
+
+// Parent returns v's parent (sim.None for the root and unreached nodes).
+func (t *Tree) Parent(v sim.NodeID) sim.NodeID { return t.parents[v] }
+
+// Reached reports whether v is connected to the root.
+func (t *Tree) Reached(v sim.NodeID) bool { return t.depth[v] >= 0 }
+
+// Size returns the number of nodes reachable from the root (including it).
+func (t *Tree) Size() int {
+	n := 0
+	for _, d := range t.depth {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Spanning reports whether every node is reachable from the root — the
+// w.h.p. guarantee of Lemma 5.
+func (t *Tree) Spanning() bool { return t.Size() == len(t.parents) }
+
+// Depth returns v's distance from the root, or -1 if unreached.
+func (t *Tree) Depth(v sim.NodeID) int { return t.depth[v] }
+
+// Height returns the maximum depth over reached nodes.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Children returns the number of direct children of every node.
+func (t *Tree) Children() []int {
+	counts := make([]int, len(t.parents))
+	for v, p := range t.parents {
+		if p != sim.None && t.depth[v] >= 0 {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
+// ClusterKey names an (r, c)-cluster (Definition 6): the set of nodes first
+// informed in slot R on physical channel C during phase one. The channel is
+// identified "from a global oracle's perspective" (footnote 5); analysis
+// code obtains it from the engine observer, while the protocol itself only
+// ever uses co-location.
+type ClusterKey struct {
+	R int
+	C int
+}
+
+// Clusters groups nodes by (informed slot, physical channel). Entries with
+// slot -1 (source, unreached) are skipped.
+func Clusters(informedSlots, informedPhysChannels []int) map[ClusterKey][]sim.NodeID {
+	out := make(map[ClusterKey][]sim.NodeID)
+	for v, r := range informedSlots {
+		if r < 0 {
+			continue
+		}
+		key := ClusterKey{R: r, C: informedPhysChannels[v]}
+		out[key] = append(out[key], sim.NodeID(v))
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package tree
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestValidSpanningTree(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   / \
+	//  3   4
+	parents := []sim.NodeID{sim.None, 0, 0, 1, 1}
+	tr, err := New(0, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Spanning() {
+		t.Error("tree should be spanning")
+	}
+	if tr.Size() != 5 {
+		t.Errorf("Size = %d, want 5", tr.Size())
+	}
+	if tr.Height() != 2 {
+		t.Errorf("Height = %d, want 2", tr.Height())
+	}
+	wantDepth := []int{0, 1, 1, 2, 2}
+	for v, d := range wantDepth {
+		if tr.Depth(sim.NodeID(v)) != d {
+			t.Errorf("Depth(%d) = %d, want %d", v, tr.Depth(sim.NodeID(v)), d)
+		}
+	}
+	children := tr.Children()
+	want := []int{2, 2, 0, 0, 0}
+	for v := range want {
+		if children[v] != want[v] {
+			t.Errorf("Children[%d] = %d, want %d", v, children[v], want[v])
+		}
+	}
+	if tr.Root() != 0 || tr.Parent(3) != 1 {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestUnreachedNodesAllowed(t *testing.T) {
+	parents := []sim.NodeID{sim.None, 0, sim.None} // node 2 never informed
+	tr, err := New(0, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spanning() {
+		t.Error("tree with unreached node reported spanning")
+	}
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tr.Size())
+	}
+	if tr.Reached(2) {
+		t.Error("node 2 reported reached")
+	}
+	if tr.Depth(2) != -1 {
+		t.Errorf("Depth(2) = %d, want -1", tr.Depth(2))
+	}
+}
+
+func TestChainHangingOffUnreachedRejected(t *testing.T) {
+	// Node 2 points at unreached node 1: inconsistent, since being informed
+	// by an uninformed node is impossible.
+	parents := []sim.NodeID{sim.None, sim.None, 1}
+	if _, err := New(0, parents); err == nil {
+		t.Error("chain through unreached node accepted")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	parents := []sim.NodeID{sim.None, 2, 3, 1} // 1 -> 2 -> 3 -> 1
+	if _, err := New(0, parents); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	parents := []sim.NodeID{sim.None, 1}
+	if _, err := New(0, parents); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestRootWithParentRejected(t *testing.T) {
+	parents := []sim.NodeID{1, sim.None}
+	if _, err := New(0, parents); err == nil {
+		t.Error("root with parent accepted")
+	}
+}
+
+func TestBadRootRejected(t *testing.T) {
+	if _, err := New(5, []sim.NodeID{sim.None}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := New(-1, []sim.NodeID{sim.None}); err == nil {
+		t.Error("negative root accepted")
+	}
+}
+
+func TestOutOfRangeParentRejected(t *testing.T) {
+	parents := []sim.NodeID{sim.None, 9}
+	if _, err := New(0, parents); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestDeepChainDepths(t *testing.T) {
+	const n = 1000
+	parents := make([]sim.NodeID, n)
+	parents[0] = sim.None
+	for v := 1; v < n; v++ {
+		parents[v] = sim.NodeID(v - 1)
+	}
+	tr, err := New(0, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != n-1 {
+		t.Errorf("Height = %d, want %d", tr.Height(), n-1)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	informedSlots := []int{-1, 3, 3, 3, 7, -1}
+	physChannels := []int{0, 2, 2, 5, 2, 0}
+	got := Clusters(informedSlots, physChannels)
+	if len(got) != 3 {
+		t.Fatalf("got %d clusters, want 3: %v", len(got), got)
+	}
+	if members := got[ClusterKey{R: 3, C: 2}]; len(members) != 2 {
+		t.Errorf("cluster (3,2) = %v, want nodes 1 and 2", members)
+	}
+	if members := got[ClusterKey{R: 3, C: 5}]; len(members) != 1 || members[0] != 3 {
+		t.Errorf("cluster (3,5) = %v, want node 3", members)
+	}
+	if members := got[ClusterKey{R: 7, C: 2}]; len(members) != 1 || members[0] != 4 {
+		t.Errorf("cluster (7,2) = %v, want node 4", members)
+	}
+	total := 0
+	for _, m := range got {
+		total += len(m)
+	}
+	if total != 4 {
+		t.Errorf("cluster sizes sum to %d, want 4 (each informed node in exactly one cluster)", total)
+	}
+}
