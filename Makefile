@@ -1,0 +1,44 @@
+# Developer entry points. The tier-1 verification flow is:
+#
+#     make check        # build + vet + tests + race detector
+#
+# which is what CI (and reviewers) should run before merging.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench bench-engine baseline clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The trial runner executes experiment trials on a worker pool; the race
+# detector is part of the standard flow, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Full benchmark suite (one benchmark per experiment plus the substrate
+# micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem -run NONE .
+
+# Just the engine hot-loop benchmarks; BenchmarkEngineSlot must report
+# 0 allocs/op (see also TestRunSlotAllocFree).
+bench-engine:
+	$(GO) test -bench='BenchmarkEngineSlot' -benchmem -run NONE .
+
+# Regenerate the machine-readable experiment timing baseline.
+baseline:
+	$(GO) run ./cmd/cogbench -bench-out BENCH_baseline.json > /dev/null
+
+clean:
+	$(GO) clean ./...

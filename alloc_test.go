@@ -1,0 +1,68 @@
+package crn_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/metrics"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// steadyStateEngine builds a 256-node COGCAST network where every node is
+// already informed — the configuration BenchmarkEngineSlot measures — and
+// warms it up so lazily-grown scratch has reached its final size.
+func steadyStateEngine(t *testing.T, opts ...sim.Option) *sim.Engine {
+	t.Helper()
+	const n, c = 256, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	eng, err := sim.NewEngine(asn, protos, 1, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestRunSlotAllocFree pins the zero-allocation property of the hot loop:
+// a steady-state RunSlot must not allocate at all. A regression here (a
+// map rebuilt per slot, a re-boxed message, a fresh outcome slice) shows up
+// as a fractional alloc count and fails loudly.
+func TestRunSlotAllocFree(t *testing.T) {
+	eng := steadyStateEngine(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
+	}
+}
+
+// TestRunSlotObservedAllocBound allows the observer path at most one
+// allocation per slot: the engine hands the observer its reused outcome
+// scratch, so any steady-state cost belongs to the observer itself (the
+// metrics collector is itself alloc-free once warm).
+func TestRunSlotObservedAllocBound(t *testing.T) {
+	eng := steadyStateEngine(t, sim.WithObserver(&metrics.Collector{}))
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("observed RunSlot allocates %.2f objects/slot, want <= 1", allocs)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/cogradio/crn/internal/cogcomp"
 	"github.com/cogradio/crn/internal/exper"
 	"github.com/cogradio/crn/internal/games"
+	"github.com/cogradio/crn/internal/metrics"
 	"github.com/cogradio/crn/internal/sim"
 )
 
@@ -80,6 +81,58 @@ func BenchmarkEngineSlot(b *testing.B) {
 		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
 	}
 	eng, err := sim.NewEngine(asn, protos, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSlot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSlotObserved is BenchmarkEngineSlot with a metrics
+// collector attached: the observer path reuses the engine's outcome
+// scratch, so the only extra cost should be the collector's own counters.
+func BenchmarkEngineSlotObserved(b *testing.B) {
+	const n, c = 256, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	eng, err := sim.NewEngine(asn, protos, 1, sim.WithObserver(&metrics.Collector{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSlot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSlotAllDelivered measures the same steady-state slot under
+// the footnote-3 all-delivered collision model (every listener hears a
+// uniformly chosen message instead of one winner per channel).
+func BenchmarkEngineSlotAllDelivered(b *testing.B) {
+	const n, c = 256, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	eng, err := sim.NewEngine(asn, protos, 1, sim.WithCollisionModel(sim.AllDelivered))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,17 +7,23 @@
 //	cogbench                      # run everything, full sweeps
 //	cogbench -exp E1,E6 -quick    # two experiments, reduced sweeps
 //	cogbench -format markdown     # Markdown output (EXPERIMENTS.md source)
+//	cogbench -parallel 8          # 8 trial workers; tables are identical
+//	cogbench -bench-out BENCH_baseline.json   # machine-readable timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/cogradio/crn/internal/exper"
+	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/sim"
 )
 
 func main() {
@@ -27,15 +33,40 @@ func main() {
 	}
 }
 
+// benchRecord is one experiment's entry in the -bench-out report.
+type benchRecord struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Slots  int64   `json:"slots"`
+	Allocs uint64  `json:"allocs"`
+	Bytes  uint64  `json:"bytes"`
+}
+
+// benchReport is the -bench-out file layout. Wall-clock shrinks with
+// -parallel; slot counts are invariant (same trials, same seeds).
+type benchReport struct {
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Seed        int64         `json:"seed"`
+	Trials      int           `json:"trials"`
+	Quick       bool          `json:"quick"`
+	Parallel    int           `json:"parallel"`
+	Experiments []benchRecord `json:"experiments"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cogbench", flag.ContinueOnError)
 	var (
-		expList = fs.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E6) or 'all'")
-		seed    = fs.Int64("seed", 42, "root seed")
-		trials  = fs.Int("trials", 0, "trials per parameter point (0 = default)")
-		quick   = fs.Bool("quick", false, "reduced sweeps")
-		format  = fs.String("format", "text", "output format: text, markdown or csv")
-		list    = fs.Bool("list", false, "list experiments and exit")
+		expList  = fs.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E6) or 'all'")
+		seed     = fs.Int64("seed", 42, "root seed")
+		trials   = fs.Int("trials", 0, "trials per parameter point (0 = default)")
+		quick    = fs.Bool("quick", false, "reduced sweeps")
+		format   = fs.String("format", "text", "output format: text, markdown or csv")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
+		benchOut = fs.String("bench-out", "", "write a machine-readable JSON benchmark report (wall-clock, slots, allocs per experiment) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,12 +92,41 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      *seed,
+		Trials:    *trials,
+		Quick:     *quick,
+		Parallel:  *workers,
+	}
+	if report.Parallel <= 0 {
+		report.Parallel = parallel.DefaultWorkers()
+	}
+
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
 	for _, e := range selected {
 		start := time.Now()
+		slots0 := sim.SlotsExecuted()
+		var mem0 runtime.MemStats
+		if *benchOut != "" {
+			runtime.ReadMemStats(&mem0)
+		}
 		tables, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *benchOut != "" {
+			var mem1 runtime.MemStats
+			runtime.ReadMemStats(&mem1)
+			report.Experiments = append(report.Experiments, benchRecord{
+				ID:     e.ID,
+				WallMS: float64(time.Since(start).Microseconds()) / 1000,
+				Slots:  sim.SlotsExecuted() - slots0,
+				Allocs: mem1.Mallocs - mem0.Mallocs,
+				Bytes:  mem1.TotalAlloc - mem0.TotalAlloc,
+			})
 		}
 		for _, t := range tables {
 			var rerr error
@@ -87,6 +147,21 @@ func run(args []string, out io.Writer) error {
 		if *format == "text" {
 			fmt.Fprintf(out, "[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if *benchOut != "" {
+		for _, r := range report.Experiments {
+			report.TotalWallMS += r.WallMS
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchmark report: %s (%d experiments, %.0f ms total)\n",
+			*benchOut, len(report.Experiments), report.TotalWallMS)
 	}
 	return nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,6 +62,58 @@ func TestMultipleExperiments(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "E6:") || !strings.Contains(s, "E7a:") {
 		t.Errorf("output = %q", s)
+	}
+}
+
+func TestParallelFlagDeterministic(t *testing.T) {
+	args := func(workers string) []string {
+		return []string{"-exp", "E12", "-quick", "-trials", "4", "-format", "csv", "-parallel", workers}
+	}
+	var serial, par bytes.Buffer
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("8"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("tables differ across worker counts:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+}
+
+func TestBenchOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E3", "-quick", "-trials", "2", "-bench-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		GoVersion   string `json:"go_version"`
+		Parallel    int    `json:"parallel"`
+		Experiments []struct {
+			ID     string  `json:"id"`
+			WallMS float64 `json:"wall_ms"`
+			Slots  int64   `json:"slots"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("bench-out is not valid JSON: %v", err)
+	}
+	if report.GoVersion == "" || report.Parallel < 1 {
+		t.Errorf("report metadata incomplete: %+v", report)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E3" {
+		t.Fatalf("experiments = %+v", report.Experiments)
+	}
+	if report.Experiments[0].Slots <= 0 {
+		t.Errorf("E3 slot count = %d, want > 0", report.Experiments[0].Slots)
+	}
+	if !strings.Contains(out.String(), "benchmark report:") {
+		t.Errorf("missing report line in output: %q", out.String())
 	}
 }
 

@@ -8,6 +8,7 @@
 //	cogsim -protocol cogcomp -n 64 -c 8 -k 2 -C 24 -agg stats
 //	cogsim -protocol hop -n 8 -c 64 -k 63 -topology partitioned -labels global
 //	cogsim -protocol cogcast -jam random -jamk 3 -n 32 -c 16
+//	cogsim -protocol cogcast -repeat 32 -parallel 8   # seeded repetitions
 package main
 
 import (
@@ -17,6 +18,9 @@ import (
 	"os"
 
 	crn "github.com/cogradio/crn"
+	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/stats"
 )
 
 func main() {
@@ -46,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		rumors   = fs.Int("rumors", 4, "rumor count for the gossip protocol")
 		maxSlots = fs.Int("max-slots", 0, "slot budget (0 = automatic)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
+		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints a slot-count summary")
+		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +68,10 @@ func run(args []string, out io.Writer) error {
 	budget := *maxSlots
 	if budget == 0 {
 		budget = 64 * net.SlotBound(0)
+	}
+	if *repeat > 1 {
+		return runRepeated(out, *protocol, *repeat, *workers, budget,
+			*jam, *jamK, *n, *c, *k, *total, *topology, *labels, *dynamic, *seed, *source, *agg, *maxSlots)
 	}
 	switch *protocol {
 	case "cogcast":
@@ -144,6 +154,67 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
+	return nil
+}
+
+// runRepeated executes -repeat independent seeded repetitions of cogcast or
+// cogcomp across a bounded worker pool and prints a slot-count summary.
+// Every repetition rebuilds its network from a seed derived from the
+// repetition index, so the summary is byte-identical at any -parallel value
+// (dynamic and jammed assignments are stateful and must not be shared).
+func runRepeated(out io.Writer, protocol string, repeat, workers, budget int,
+	jam string, jamK, n, c, k, total int, topology, labels string, dynamic bool,
+	seed int64, source int, agg string, maxSlots int) error {
+	var fn func(trialSeed int64, net *crn.Network) (float64, error)
+	switch protocol {
+	case "cogcast":
+		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
+			res, err := net.Broadcast(crn.BroadcastOptions{
+				Source: source, Payload: "INIT", Seed: trialSeed,
+				RunToCompletion: true, MaxSlots: budget,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if !res.AllInformed {
+				return 0, fmt.Errorf("cogcast incomplete within %d slots", budget)
+			}
+			return float64(res.Slots), nil
+		}
+	case "cogcomp":
+		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
+			inputs := make([]int64, net.Nodes())
+			for i := range inputs {
+				inputs[i] = int64(i)
+			}
+			res, err := net.Aggregate(inputs, crn.AggregateOptions{
+				Source: source, Func: agg, Seed: trialSeed, MaxSlots: maxSlots,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Slots), nil
+		}
+	default:
+		return fmt.Errorf("-repeat supports cogcast and cogcomp, not %q", protocol)
+	}
+	slots, err := parallel.Map(repeat, workers, func(i int) (float64, error) {
+		trialSeed := rng.Derive(seed, int64(i))
+		net, err := buildNetwork(jam, jamK, n, c, k, total, topology, labels, dynamic, trialSeed)
+		if err != nil {
+			return 0, err
+		}
+		return fn(trialSeed, net)
+	})
+	if err != nil {
+		return err
+	}
+	s, err := stats.Summarize(slots)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s x%d: slots min %.0f / median %.1f / mean %.1f / p99 %.1f / max %.0f\n",
+		protocol, repeat, s.Min, s.Median, s.Mean, s.P99, s.Max)
 	return nil
 }
 

@@ -106,6 +106,32 @@ func TestGossipRun(t *testing.T) {
 	}
 }
 
+func TestRepeatSummary(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2", "-repeat", "8")
+	if !strings.Contains(out, "cogcast x8: slots min") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRepeatParallelIdentical(t *testing.T) {
+	args := func(workers string) []string {
+		return []string{"-protocol", "cogcomp", "-n", "16", "-c", "4", "-k", "2",
+			"-repeat", "6", "-parallel", workers}
+	}
+	serial := runOK(t, args("1")...)
+	par := runOK(t, args("4")...)
+	if serial != par {
+		t.Errorf("repeat summary differs across worker counts:\nserial: %q\nparallel: %q", serial, par)
+	}
+}
+
+func TestRepeatUnsupportedProtocol(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "gossip", "-n", "16", "-c", "4", "-k", "2", "-repeat", "4"}, &out); err == nil {
+		t.Error("gossip -repeat accepted")
+	}
+}
+
 func TestCurveFlag(t *testing.T) {
 	out := runOK(t, "-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2", "-curve")
 	if !strings.Contains(out, "epidemic:") {

@@ -51,6 +51,10 @@ type Node struct {
 
 	informed bool
 	payload  sim.Message
+	// wire is the boxed Payload an informed node broadcasts. Building it
+	// once when the node learns the message (instead of wrapping payload on
+	// every Step) keeps the steady-state slot path allocation-free.
+	wire sim.Message
 
 	parent        sim.NodeID
 	informedSlot  int
@@ -100,6 +104,9 @@ func New(view sim.NodeView, source bool, payload sim.Message, seed int64, opts .
 		informedSlot: -1,
 		lastSlot:     -1,
 	}
+	if source {
+		n.wire = Payload{Body: payload}
+	}
 	for _, opt := range opts {
 		opt(n)
 	}
@@ -114,7 +121,7 @@ func (n *Node) Step(slot int) sim.Action {
 	n.lastSlot = slot
 	var act sim.Action
 	if n.informed {
-		act = sim.Broadcast(ch, Payload{Body: n.payload})
+		act = sim.Broadcast(ch, n.wire)
 	} else {
 		act = sim.Listen(ch)
 	}
@@ -137,6 +144,7 @@ func (n *Node) Deliver(slot int, ev sim.Event) {
 		}
 		n.informed = true
 		n.payload = p.Body
+		n.wire = ev.Msg // already the boxed Payload; reuse it
 		n.parent = ev.From
 		n.informedSlot = slot
 		n.informedLocal = ev.Channel

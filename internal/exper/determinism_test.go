@@ -35,6 +35,38 @@ func TestExperimentDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelTrialDeterminism runs engine-heavy experiments serially and
+// with 8 trial workers and requires byte-identical rendered tables: per-trial
+// seeds are derived from the trial index alone, results are collected into
+// index-ordered slices, and every fold over them happens after collection,
+// so the worker count can only change wall-clock time. E1 exercises the
+// COGCAST path, E4 the COGCOMP path.
+func TestParallelTrialDeterminism(t *testing.T) {
+	for _, id := range []string{"E1", "E4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func(workers int) string {
+			tables, err := e.Run(Config{Seed: 7, Trials: 3, Quick: true, Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, tb := range tables {
+				if err := tb.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return buf.String()
+		}
+		serial, par := render(1), render(8)
+		if serial != par {
+			t.Errorf("%s: worker count changed the tables:\nserial:\n%s\nparallel:\n%s", id, serial, par)
+		}
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	tb := &Table{
 		Columns: []string{"a", "b"},

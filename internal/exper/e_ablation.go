@@ -41,33 +41,52 @@ func runE15(cfg Config) ([]*Table, error) {
 		Claim:   "the scanner informs nobody; COGCAST completes every trial",
 		Columns: []string{"algorithm", "trials", "completed", "median informed", "median slots (completed runs)"},
 	}
-	scanInformed := make([]float64, 0, trials)
-	scanCompleted := 0
-	cogSlots := make([]float64, 0, trials)
-	cogCompleted := 0
-	for trial := 0; trial < trials; trial++ {
+	type advResult struct {
+		scanComplete bool
+		scanInformed float64
+		cogComplete  bool
+		cogSlots     float64
+	}
+	results, err := forTrials(cfg, trials, func(trial int) (advResult, error) {
+		var out advResult
 		ts := rng.Derive(cfg.Seed, int64(trial), 150)
 		adv, err := assign.NewAntiScan(n, c, k, nil, ts)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		scan, err := baseline.DeterministicScan(adv, 0, "m", ts, budget)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		if scan.Complete {
-			scanCompleted++
-		}
-		scanInformed = append(scanInformed, float64(scan.Informed))
+		out.scanComplete = scan.Complete
+		out.scanInformed = float64(scan.Informed)
 
 		// The same adversary cannot predict COGCAST's coin flips.
 		cog, err := cogcast.Run(adv, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if cog.AllInformed {
+			out.cogComplete = true
+			out.cogSlots = float64(cog.Slots)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scanInformed := make([]float64, 0, trials)
+	scanCompleted := 0
+	cogSlots := make([]float64, 0, trials)
+	cogCompleted := 0
+	for _, r := range results {
+		if r.scanComplete {
+			scanCompleted++
+		}
+		scanInformed = append(scanInformed, r.scanInformed)
+		if r.cogComplete {
 			cogCompleted++
-			cogSlots = append(cogSlots, float64(cog.Slots))
+			cogSlots = append(cogSlots, r.cogSlots)
 		}
 	}
 	si, err := stats.Summarize(scanInformed)
@@ -105,24 +124,26 @@ func runE16(cfg Config) ([]*Table, error) {
 	for _, n := range ns {
 		seed := rng.Derive(cfg.Seed, int64(n), 160)
 		run := func(model sim.CollisionModel, offset int64) (stats.Summary, error) {
-			slots := make([]float64, 0, cfg.trials())
-			for trial := 0; trial < cfg.trials(); trial++ {
+			slots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
 				ts := rng.Derive(seed, int64(trial), offset)
 				asn, err := assign.SharedCore(n, c, k, total, assign.LocalLabels, ts)
 				if err != nil {
-					return stats.Summary{}, err
+					return 0, err
 				}
 				budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
 				res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 					UntilAllInformed: true, MaxSlots: budget, Collisions: model,
 				})
 				if err != nil {
-					return stats.Summary{}, err
+					return 0, err
 				}
 				if !res.AllInformed {
-					return stats.Summary{}, fmt.Errorf("exper: incomplete under %v", model)
+					return 0, fmt.Errorf("exper: incomplete under %v", model)
 				}
-				slots = append(slots, float64(res.Slots))
+				return float64(res.Slots), nil
+			})
+			if err != nil {
+				return stats.Summary{}, err
 			}
 			return stats.Summarize(slots)
 		}
@@ -154,18 +175,24 @@ func runE17(cfg Config) ([]*Table, error) {
 	}
 	for _, kappa := range kappas {
 		horizon := cogcast.SlotBound(n, c, k, kappa)
-		ok := 0
-		for trial := 0; trial < trials; trial++ {
+		dones, err := forTrials(cfg, trials, func(trial int) (bool, error) {
 			ts := rng.Derive(cfg.Seed, int64(kappa*100), int64(trial), 170)
 			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{MaxSlots: horizon})
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if res.AllInformed {
+			return res.AllInformed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		for _, done := range dones {
+			if done {
 				ok++
 			}
 		}

@@ -34,24 +34,31 @@ func runE23(cfg Config) ([]*Table, error) {
 		Columns: []string{"n", "k", "bound (n-1)/k", "median phase-4 steps", "median total slots", "total/bound"},
 	}
 	for _, p := range points {
-		steps := make([]float64, 0, cfg.trials())
-		totals := make([]float64, 0, cfg.trials())
-		for trial := 0; trial < cfg.trials(); trial++ {
+		type lbResult struct{ steps, total float64 }
+		results, err := forTrials(cfg, cfg.trials(), func(trial int) (lbResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.n), int64(p.k), int64(trial), 230)
 			asn, err := assign.FullOverlap(p.n, p.k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return lbResult{}, err
 			}
 			inputs := experInputs(p.n, ts)
 			res, err := cogcomp.Run(asn, 0, inputs, ts, cogcomp.Config{})
 			if err != nil {
-				return nil, err
+				return lbResult{}, err
 			}
 			if want := aggfunc.Fold(aggfunc.Sum{}, inputs); res.Value != want {
-				return nil, fmt.Errorf("exper: aggregate %v != ground truth %v", res.Value, want)
+				return lbResult{}, fmt.Errorf("exper: aggregate %v != ground truth %v", res.Value, want)
 			}
-			steps = append(steps, float64(res.Phase4Slots)/3)
-			totals = append(totals, float64(res.TotalSlots))
+			return lbResult{steps: float64(res.Phase4Slots) / 3, total: float64(res.TotalSlots)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		steps := make([]float64, 0, cfg.trials())
+		totals := make([]float64, 0, cfg.trials())
+		for _, r := range results {
+			steps = append(steps, r.steps)
+			totals = append(totals, r.total)
 		}
 		ss, err := stats.Summarize(steps)
 		if err != nil {

@@ -42,31 +42,46 @@ func experInputs(n int, seed int64) []int64 {
 	return inputs
 }
 
-// cogcompTrials runs COGCOMP `trials` times and returns summaries of total
-// and phase-four slots, verifying the aggregate against ground truth.
-func cogcompTrials(trials int, seed int64, f aggfunc.Func, build func(ts int64) (sim.Assignment, error)) (total, phase4 stats.Summary, maxMsg int, err error) {
-	totals := make([]float64, 0, trials)
-	p4s := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
+// cogcompTrials runs COGCOMP `trials` times on cfg's worker pool and returns
+// summaries of total and phase-four slots, verifying the aggregate against
+// ground truth in every trial.
+func cogcompTrials(cfg Config, trials int, seed int64, f aggfunc.Func, build func(ts int64) (sim.Assignment, error)) (total, phase4 stats.Summary, maxMsg int, err error) {
+	type compResult struct {
+		total, phase4 float64
+		maxMsg        int
+	}
+	results, err := forTrials(cfg, trials, func(trial int) (compResult, error) {
 		ts := rng.Derive(seed, int64(trial))
-		asn, berr := build(ts)
-		if berr != nil {
-			return total, phase4, 0, berr
+		asn, err := build(ts)
+		if err != nil {
+			return compResult{}, err
 		}
 		inputs := experInputs(asn.Nodes(), ts)
-		res, rerr := cogcomp.Run(asn, 0, inputs, ts, cogcomp.Config{Func: f})
-		if rerr != nil {
-			return total, phase4, 0, rerr
+		res, err := cogcomp.Run(asn, 0, inputs, ts, cogcomp.Config{Func: f})
+		if err != nil {
+			return compResult{}, err
 		}
 		if f.Name() != "collect" {
 			if want := aggfunc.Fold(f, inputs); res.Value != want {
-				return total, phase4, 0, fmt.Errorf("exper: aggregate %v != ground truth %v", res.Value, want)
+				return compResult{}, fmt.Errorf("exper: aggregate %v != ground truth %v", res.Value, want)
 			}
 		}
-		totals = append(totals, float64(res.TotalSlots))
-		p4s = append(p4s, float64(res.Phase4Slots))
-		if res.MaxMessageSize > maxMsg {
-			maxMsg = res.MaxMessageSize
+		return compResult{
+			total:  float64(res.TotalSlots),
+			phase4: float64(res.Phase4Slots),
+			maxMsg: res.MaxMessageSize,
+		}, nil
+	})
+	if err != nil {
+		return total, phase4, 0, err
+	}
+	totals := make([]float64, 0, trials)
+	p4s := make([]float64, 0, trials)
+	for _, r := range results {
+		totals = append(totals, r.total)
+		p4s = append(p4s, r.phase4)
+		if r.maxMsg > maxMsg {
+			maxMsg = r.maxMsg
 		}
 	}
 	if total, err = stats.Summarize(totals); err != nil {
@@ -89,7 +104,7 @@ func runE4(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, n := range ns {
-		total, p4, _, err := cogcompTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(n), 40), aggfunc.Sum{},
+		total, p4, _, err := cogcompTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 40), aggfunc.Sum{},
 			func(ts int64) (sim.Assignment, error) {
 				return assign.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
 			})
@@ -129,28 +144,30 @@ func runE5(cfg Config) ([]*Table, error) {
 	}
 	for _, p := range points {
 		seed := rng.Derive(cfg.Seed, int64(p.n), int64(p.c), 50)
-		cogTotal, _, _, err := cogcompTrials(trials, seed, aggfunc.Sum{}, func(ts int64) (sim.Assignment, error) {
+		cogTotal, _, _, err := cogcompTrials(cfg, trials, seed, aggfunc.Sum{}, func(ts int64) (sim.Assignment, error) {
 			return assign.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		rdvSlots := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		rdvSlots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
 			ts := rng.Derive(seed, int64(trial), 51)
 			asn, err := assign.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			inputs := experInputs(p.n, ts)
 			res, err := baseline.RendezvousAggregation(asn, 0, inputs, ts, 8_000_000)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.Complete {
-				return nil, fmt.Errorf("exper: rendezvous aggregation incomplete at n=%d c=%d", p.n, p.c)
+				return 0, fmt.Errorf("exper: rendezvous aggregation incomplete at n=%d c=%d", p.n, p.c)
 			}
-			rdvSlots = append(rdvSlots, float64(res.Slots))
+			return float64(res.Slots), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		rdv, err := stats.Summarize(rdvSlots)
 		if err != nil {
@@ -181,7 +198,7 @@ func runE14(cfg Config) ([]*Table, error) {
 	for _, n := range ns {
 		row := []string{itoa(n)}
 		for _, f := range []aggfunc.Func{aggfunc.Sum{}, aggfunc.Stats{}, aggfunc.Collect{}} {
-			_, _, maxMsg, err := cogcompTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(n), 60), f,
+			_, _, maxMsg, err := cogcompTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 60), f,
 				func(ts int64) (sim.Assignment, error) {
 					return assign.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
 				})

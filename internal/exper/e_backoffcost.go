@@ -29,39 +29,54 @@ func runE24(cfg Config) ([]*Table, error) {
 		Claim:   "required window << theoretical budget; abstract slot counts scale to radio cost by the window",
 		Columns: []string{"n", "slots", "mean window", "p99 window", "max window", "budget 4(lg n+1)²", "radio cost (slots × max)"},
 	}
+	type costResult struct {
+		slots      int
+		meanWindow float64
+		required   int
+		p99        int
+	}
 	for _, n := range ns {
 		// One representative run per n at full trial count would repeat
 		// near-identical histograms; aggregate across trials instead.
-		totalSlots := 0
-		var meanSum float64
-		maxWindow, p99 := 0, 0
-		for trial := 0; trial < cfg.trials(); trial++ {
+		results, err := forTrials(cfg, cfg.trials(), func(trial int) (costResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(n), int64(trial), 240)
 			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return costResult{}, err
 			}
 			obs := backoff.NewCostObserver(n, ts)
 			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 				UntilAllInformed: true, MaxSlots: 200000, Observer: obs,
 			})
 			if err != nil {
-				return nil, err
+				return costResult{}, err
 			}
 			if !res.AllInformed {
-				return nil, fmt.Errorf("exper: E24 broadcast incomplete at n=%d", n)
+				return costResult{}, fmt.Errorf("exper: E24 broadcast incomplete at n=%d", n)
 			}
 			cost := obs.Snapshot()
 			if cost.Failures > 0 {
-				return nil, fmt.Errorf("exper: E24 decay failures at n=%d", n)
+				return costResult{}, fmt.Errorf("exper: E24 decay failures at n=%d", n)
 			}
-			totalSlots += cost.Slots
-			meanSum += cost.MeanWindow
-			if cost.RequiredWindow > maxWindow {
-				maxWindow = cost.RequiredWindow
+			return costResult{
+				slots: cost.Slots, meanWindow: cost.MeanWindow,
+				required: cost.RequiredWindow, p99: obs.WindowQuantile(0.99),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		totalSlots := 0
+		var meanSum float64
+		maxWindow, p99 := 0, 0
+		for _, r := range results {
+			totalSlots += r.slots
+			meanSum += r.meanWindow
+			if r.required > maxWindow {
+				maxWindow = r.required
 			}
-			if q := obs.WindowQuantile(0.99); q > p99 {
-				p99 = q
+			if r.p99 > p99 {
+				p99 = r.p99
 			}
 		}
 		budget := backoff.TheoreticalBound(n)

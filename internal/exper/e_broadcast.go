@@ -13,24 +13,28 @@ import (
 )
 
 // cogcastTrials runs COGCAST to completion `trials` times over assignments
-// built per-trial and returns the summary of the slot counts.
-func cogcastTrials(trials int, seed int64, build func(trialSeed int64) (sim.Assignment, error)) (stats.Summary, error) {
-	slots := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
+// built per-trial and returns the summary of the slot counts. Trials run on
+// cfg's worker pool; each derives its state from the trial index alone, so
+// the summary is identical at every parallelism level.
+func cogcastTrials(cfg Config, trials int, seed int64, build func(trialSeed int64) (sim.Assignment, error)) (stats.Summary, error) {
+	slots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
 		ts := rng.Derive(seed, int64(trial))
 		asn, err := build(ts)
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
 		budget := 64 * cogcast.SlotBound(asn.Nodes(), asn.PerNode(), asn.MinOverlap(), cogcast.DefaultKappa)
 		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
 		if !res.AllInformed {
-			return stats.Summary{}, fmt.Errorf("exper: broadcast incomplete after %d slots", res.Slots)
+			return 0, fmt.Errorf("exper: broadcast incomplete after %d slots", res.Slots)
 		}
-		slots = append(slots, float64(res.Slots))
+		return float64(res.Slots), nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
 	return stats.Summarize(slots)
 }
@@ -85,7 +89,7 @@ func runE1(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, n := range ns {
-		s, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(n), 1), func(ts int64) (sim.Assignment, error) {
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 1), func(ts int64) (sim.Assignment, error) {
 			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
@@ -115,7 +119,7 @@ func runE1(cfg Config) ([]*Table, error) {
 		ks = []int{2, 8}
 	}
 	for _, kk := range ks {
-		s, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(kk), 11), func(ts int64) (sim.Assignment, error) {
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kk), 11), func(ts int64) (sim.Assignment, error) {
 			return assign.Partitioned(n1b, c, kk, assign.LocalLabels, ts)
 		})
 		if err != nil {
@@ -147,7 +151,7 @@ func runE2(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, c := range cs {
-		s, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(c), 2), func(ts int64) (sim.Assignment, error) {
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(c), 2), func(ts int64) (sim.Assignment, error) {
 			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
@@ -180,27 +184,29 @@ func runE3(cfg Config) ([]*Table, error) {
 	var xs, ratios []float64
 	for _, c := range cs {
 		seed := rng.Derive(cfg.Seed, int64(c), 3)
-		cog, err := cogcastTrials(cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
+		cog, err := cogcastTrials(cfg, cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
 			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		rdvSlots := make([]float64, 0, cfg.trials())
-		for trial := 0; trial < cfg.trials(); trial++ {
+		rdvSlots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
 			ts := rng.Derive(seed, int64(trial), 4)
 			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := baseline.RendezvousBroadcast(asn, 0, "m", ts, 4_000_000)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.AllInformed {
-				return nil, fmt.Errorf("exper: rendezvous incomplete at c=%d", c)
+				return 0, fmt.Errorf("exper: rendezvous incomplete at c=%d", c)
 			}
-			rdvSlots = append(rdvSlots, float64(res.Slots))
+			return float64(res.Slots), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		rdv, err := stats.Summarize(rdvSlots)
 		if err != nil {
@@ -232,13 +238,13 @@ func runE10(cfg Config) ([]*Table, error) {
 	}
 	for _, n := range ns {
 		seed := rng.Derive(cfg.Seed, int64(n), 10)
-		static, err := cogcastTrials(cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
+		static, err := cogcastTrials(cfg, cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
 			return assign.SharedCore(n, c, k, total, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		dynamic, err := cogcastTrials(cfg.trials(), rng.Derive(seed, 1), func(ts int64) (sim.Assignment, error) {
+		dynamic, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(seed, 1), func(ts int64) (sim.Assignment, error) {
 			return assign.NewDynamic(n, c, k, total, ts)
 		})
 		if err != nil {
@@ -261,20 +267,20 @@ func runE13(cfg Config) ([]*Table, error) {
 	if cfg.Quick && trials > 5 {
 		trials = 5
 	}
-	var stage1s, totals []float64
-	for trial := 0; trial < trials; trial++ {
+	type stageResult struct{ stage1, total int }
+	results, err := forTrials(cfg, trials, func(trial int) (stageResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 13)
 		asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		if err != nil {
-			return nil, err
+			return stageResult{}, err
 		}
 		budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
 		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
 		if err != nil {
-			return nil, err
+			return stageResult{}, err
 		}
 		if !res.AllInformed {
-			return nil, fmt.Errorf("exper: E13 broadcast incomplete")
+			return stageResult{}, fmt.Errorf("exper: E13 broadcast incomplete")
 		}
 		stage1 := res.Slots
 		for s, informed := range res.Trajectory {
@@ -283,9 +289,16 @@ func runE13(cfg Config) ([]*Table, error) {
 				break
 			}
 		}
-		stage1s = append(stage1s, float64(stage1))
-		totals = append(totals, float64(res.Slots))
-		stages.AddRow(itoa(trial), itoa(stage1), itoa(res.Slots), ftoa(1-float64(stage1)/float64(res.Slots)))
+		return stageResult{stage1: stage1, total: res.Slots}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stage1s, totals []float64
+	for trial, r := range results {
+		stage1s = append(stage1s, float64(r.stage1))
+		totals = append(totals, float64(r.total))
+		stages.AddRow(itoa(trial), itoa(r.stage1), itoa(r.total), ftoa(1-float64(r.stage1)/float64(r.total)))
 	}
 	s1, err := stats.Summarize(stage1s)
 	if err != nil {
@@ -303,13 +316,13 @@ func runE13(cfg Config) ([]*Table, error) {
 		Claim:   "Claim 2 covers both extremes: one shared core (congested overlap) vs pairwise-dedicated channels (spread overlap); completion times should be the same order",
 		Columns: []string{"topology", "median slots", "mean", "p90"},
 	}
-	core, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, 131), func(ts int64) (sim.Assignment, error) {
+	core, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 131), func(ts int64) (sim.Assignment, error) {
 		return assign.SharedCore(9, 8, 1, 36, assign.LocalLabels, ts)
 	})
 	if err != nil {
 		return nil, err
 	}
-	pair, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, 132), func(ts int64) (sim.Assignment, error) {
+	pair, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 132), func(ts int64) (sim.Assignment, error) {
 		return assign.PairwiseDedicated(9, 8, 1, assign.LocalLabels, ts)
 	})
 	if err != nil {

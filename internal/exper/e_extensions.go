@@ -40,12 +40,11 @@ func runE18(cfg Config) ([]*Table, error) {
 	}
 	var base float64
 	for _, m := range ms {
-		slots := make([]float64, 0, cfg.trials())
-		for trial := 0; trial < cfg.trials(); trial++ {
+		slots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(m), int64(trial), 180)
 			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			sources := make([]sim.NodeID, m)
 			perm := rng.New(ts, 0x50c).Perm(n)
@@ -54,12 +53,15 @@ func runE18(cfg Config) ([]*Table, error) {
 			}
 			res, err := gossip.Run(asn, sources, ts, 200000)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.Complete {
-				return nil, fmt.Errorf("exper: gossip incomplete at m=%d", m)
+				return 0, fmt.Errorf("exper: gossip incomplete at m=%d", m)
 			}
-			slots = append(slots, float64(res.Slots))
+			return float64(res.Slots), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		s, err := stats.Summarize(slots)
 		if err != nil {
@@ -91,21 +93,27 @@ func runE19(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, p := range points {
-		var total float64
-		for trial := 0; trial < trials; trial++ {
+		meetSlots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.c), int64(p.k), int64(trial), 190)
 			asn, err := assign.TwoSet(2, p.c, p.k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := rendezvous.Uniform(asn, 0, 1, ts, 10_000_000)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if !res.Met {
-				return nil, fmt.Errorf("exper: pair never met at c=%d k=%d", p.c, p.k)
+				return 0, fmt.Errorf("exper: pair never met at c=%d k=%d", p.c, p.k)
 			}
-			total += float64(res.Slots)
+			return float64(res.Slots), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var total float64
+		for _, s := range meetSlots {
+			total += s
 		}
 		mean := total / float64(trials)
 		theory := rendezvous.ExpectedSlots(p.c, p.k)
@@ -133,28 +141,20 @@ func runE19(cfg Config) ([]*Table, error) {
 	}
 	const cCmp, kCmp, cmpTrials = 16, 2, 200
 	type outcome struct{ total, max int }
-	var uni, asym, symm outcome
-	for trial := 0; trial < cmpTrials; trial++ {
+	type cmpResult struct{ uni, asym, symm int }
+	cmpResults, err := forTrials(cfg, cmpTrials, func(trial int) (cmpResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 191)
 		asn, err := assign.TwoSet(2, cCmp, kCmp, assign.LocalLabels, ts)
 		if err != nil {
-			return nil, err
+			return cmpResult{}, err
 		}
 		r, err := rendezvous.Uniform(asn, 0, 1, ts, 10_000_000)
 		if err != nil || !r.Met {
-			return nil, fmt.Errorf("exper: E19b uniform missed (%v)", err)
-		}
-		uni.total += r.Slots
-		if r.Slots > uni.max {
-			uni.max = r.Slots
+			return cmpResult{}, fmt.Errorf("exper: E19b uniform missed (%v)", err)
 		}
 		d, err := rendezvous.AsymmetricScan(asn, 0, 1, cCmp*cCmp+cCmp)
 		if err != nil || !d.Met {
-			return nil, fmt.Errorf("exper: E19b asymmetric missed (%v)", err)
-		}
-		asym.total += d.Slots
-		if d.Slots > asym.max {
-			asym.max = d.Slots
+			return cmpResult{}, fmt.Errorf("exper: E19b asymmetric missed (%v)", err)
 		}
 		// Vary the first differing ID bit across trials so the symmetric
 		// scheme's block cost is exercised, not just the bit-0 fast path.
@@ -162,15 +162,30 @@ func runE19(cfg Config) ([]*Table, error) {
 		idV := idU ^ (1 << uint(trial%4))
 		sBound, err := rendezvous.SymmetricIDScanBound(cCmp, idU, idV)
 		if err != nil {
-			return nil, err
+			return cmpResult{}, err
 		}
 		sres, err := rendezvous.SymmetricIDScan(asn, 0, 1, idU, idV, sBound)
 		if err != nil || !sres.Met {
-			return nil, fmt.Errorf("exper: E19b symmetric missed (%v)", err)
+			return cmpResult{}, fmt.Errorf("exper: E19b symmetric missed (%v)", err)
 		}
-		symm.total += sres.Slots
-		if sres.Slots > symm.max {
-			symm.max = sres.Slots
+		return cmpResult{uni: r.Slots, asym: d.Slots, symm: sres.Slots}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var uni, asym, symm outcome
+	for _, r := range cmpResults {
+		uni.total += r.uni
+		if r.uni > uni.max {
+			uni.max = r.uni
+		}
+		asym.total += r.asym
+		if r.asym > asym.max {
+			asym.max = r.asym
+		}
+		symm.total += r.symm
+		if r.symm > symm.max {
+			symm.max = r.symm
 		}
 	}
 	aBound, err := rendezvous.AsymmetricScanBound(cCmp, cCmp)

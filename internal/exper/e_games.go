@@ -83,24 +83,31 @@ func runE7(cfg Config) ([]*Table, error) {
 		Columns: []string{"c", "k", "n", "median rounds", "median slots", "min{c,n}·slots", "Lemma 11 bound"},
 	}
 	for _, p := range points {
-		rounds := make([]float64, 0, trials)
-		slots := make([]float64, 0, trials)
-		for trial := 0; trial < trials; trial++ {
+		type gameResult struct{ rounds, slots float64 }
+		results, err := forTrials(cfg, trials, func(trial int) (gameResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.c), int64(p.n), int64(trial), 7)
 			g, err := games.NewGame(p.c, p.k, ts)
 			if err != nil {
-				return nil, err
+				return gameResult{}, err
 			}
 			player := games.NewReductionPlayer(games.NewCogcastChooser(p.n, p.c, ts))
 			won, r := g.Play(player, 10_000_000)
 			if !won {
-				return nil, fmt.Errorf("exper: reduction player lost at c=%d k=%d n=%d", p.c, p.k, p.n)
+				return gameResult{}, fmt.Errorf("exper: reduction player lost at c=%d k=%d n=%d", p.c, p.k, p.n)
 			}
 			if lim := minInt(p.c, p.n) * player.SimulatedSlots(); r > lim {
-				return nil, fmt.Errorf("exper: Lemma 12 accounting violated: %d rounds > %d", r, lim)
+				return gameResult{}, fmt.Errorf("exper: Lemma 12 accounting violated: %d rounds > %d", r, lim)
 			}
-			rounds = append(rounds, float64(r))
-			slots = append(slots, float64(player.SimulatedSlots()))
+			return gameResult{rounds: float64(r), slots: float64(player.SimulatedSlots())}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rounds := make([]float64, 0, trials)
+		slots := make([]float64, 0, trials)
+		for _, r := range results {
+			rounds = append(rounds, r.rounds)
+			slots = append(slots, r.slots)
 		}
 		rs, err := stats.Summarize(rounds)
 		if err != nil {
@@ -168,8 +175,8 @@ func runE8(cfg Config) ([]*Table, error) {
 		// Direct measurement: the k overlapping channels sit at uniformly
 		// random local positions among the source's c channels. Count the
 		// picks a strategy makes before hitting one.
-		var uniformSum, seqSum float64
-		for trial := 0; trial < trials; trial++ {
+		type landing struct{ uniform, seq float64 }
+		landings, err := forTrials(cfg, trials, func(trial int) (landing, error) {
 			r := rng.New(cfg.Seed, int64(k), int64(trial), 80)
 			positions := r.Perm(c)[:k]
 			inCore := make(map[int]bool, k)
@@ -180,7 +187,6 @@ func runE8(cfg Config) ([]*Table, error) {
 			for !inCore[r.Intn(c)] {
 				picks++
 			}
-			uniformSum += float64(picks)
 			seq := c
 			for i := 0; i < c; i++ {
 				if inCore[i] {
@@ -188,7 +194,15 @@ func runE8(cfg Config) ([]*Table, error) {
 					break
 				}
 			}
-			seqSum += float64(seq)
+			return landing{uniform: float64(picks), seq: float64(seq)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var uniformSum, seqSum float64
+		for _, l := range landings {
+			uniformSum += l.uniform
+			seqSum += l.seq
 		}
 		// System tie-in: in a real partitioned network, the first node can
 		// only be informed at or after the source's first overlap landing.
@@ -198,17 +212,16 @@ func runE8(cfg Config) ([]*Table, error) {
 		if cfg.Quick {
 			contactTrials = 20
 		}
-		contact := make([]float64, 0, contactTrials)
-		for trial := 0; trial < contactTrials; trial++ {
+		contact, err := forTrials(cfg, contactTrials, func(trial int) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(k), int64(trial), 81)
 			asn, err := assign.Partitioned(n, c, k, assign.GlobalLabels, ts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
 			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			first := res.Slots
 			for s, informed := range res.Trajectory {
@@ -217,7 +230,10 @@ func runE8(cfg Config) ([]*Table, error) {
 					break
 				}
 			}
-			contact = append(contact, float64(first))
+			return float64(first), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		cs, err := stats.Summarize(contact)
 		if err != nil {

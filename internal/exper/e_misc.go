@@ -54,37 +54,44 @@ func runE9(cfg Config) ([]*Table, error) {
 	}
 	for _, p := range points {
 		seed := rng.Derive(cfg.Seed, int64(p.n), int64(p.c), 90)
-		hopSlots := make([]float64, 0, cfg.trials())
-		cogSlots := make([]float64, 0, cfg.trials())
 		totalCh := p.k + p.n*(p.c-p.k)
-		for trial := 0; trial < cfg.trials(); trial++ {
+		type regimeResult struct{ hop, cog float64 }
+		results, err := forTrials(cfg, cfg.trials(), func(trial int) (regimeResult, error) {
 			ts := rng.Derive(seed, int64(trial))
 			gAsn, err := assign.Partitioned(p.n, p.c, p.k, assign.GlobalLabels, ts)
 			if err != nil {
-				return nil, err
+				return regimeResult{}, err
 			}
 			hop, err := baseline.HoppingTogether(gAsn, 0, "m", ts, 1_000_000)
 			if err != nil {
-				return nil, err
+				return regimeResult{}, err
 			}
 			if !hop.AllInformed {
-				return nil, fmt.Errorf("exper: hopping-together incomplete in regime %q", p.label)
+				return regimeResult{}, fmt.Errorf("exper: hopping-together incomplete in regime %q", p.label)
 			}
-			hopSlots = append(hopSlots, float64(hop.Slots))
 
 			lAsn, err := assign.Partitioned(p.n, p.c, p.k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return regimeResult{}, err
 			}
 			budget := 64 * cogcast.SlotBound(p.n, p.c, p.k, cogcast.DefaultKappa)
 			cog, err := cogcast.Run(lAsn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
 			if err != nil {
-				return nil, err
+				return regimeResult{}, err
 			}
 			if !cog.AllInformed {
-				return nil, fmt.Errorf("exper: COGCAST incomplete in regime %q", p.label)
+				return regimeResult{}, fmt.Errorf("exper: COGCAST incomplete in regime %q", p.label)
 			}
-			cogSlots = append(cogSlots, float64(cog.Slots))
+			return regimeResult{hop: float64(hop.Slots), cog: float64(cog.Slots)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hopSlots := make([]float64, 0, cfg.trials())
+		cogSlots := make([]float64, 0, cfg.trials())
+		for _, r := range results {
+			hopSlots = append(hopSlots, r.hop)
+			cogSlots = append(cogSlots, r.cog)
 		}
 		hs, err := stats.Summarize(hopSlots)
 		if err != nil {
@@ -127,7 +134,7 @@ func runE11(cfg Config) ([]*Table, error) {
 			func(int64) jamming.Jammer { return jamming.NewSplitJammer(c, kj, 4) },
 		}
 		for _, build := range jammers {
-			s, err := cogcastTrials(cfg.trials(), rng.Derive(cfg.Seed, int64(kj), 110), func(ts int64) (sim.Assignment, error) {
+			s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kj), 110), func(ts int64) (sim.Assignment, error) {
 				return jamming.NewAssignment(n, c, kj, build(ts), ts)
 			})
 			if err != nil {
@@ -159,18 +166,28 @@ func runE12(cfg Config) ([]*Table, error) {
 	}
 	bound := backoff.TheoreticalBound(nUpper)
 	for _, m := range ms {
-		micro := make([]float64, 0, trials)
-		failures := 0
-		for trial := 0; trial < trials; trial++ {
+		type resolveResult struct {
+			micro     float64
+			succeeded bool
+		}
+		results, err := forTrials(cfg, trials, func(trial int) (resolveResult, error) {
 			res, err := backoff.Resolve(m, nUpper, rng.Derive(cfg.Seed, int64(m), int64(trial), 120))
 			if err != nil {
-				return nil, err
+				return resolveResult{}, err
 			}
-			if !res.Succeeded {
+			return resolveResult{micro: float64(res.MicroSlots), succeeded: res.Succeeded}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		micro := make([]float64, 0, trials)
+		failures := 0
+		for _, r := range results {
+			if !r.succeeded {
 				failures++
 				continue
 			}
-			micro = append(micro, float64(res.MicroSlots))
+			micro = append(micro, r.micro)
 		}
 		s, err := stats.Summarize(micro)
 		if err != nil {

@@ -51,19 +51,23 @@ func runE20(cfg Config) ([]*Table, error) {
 		Columns: []string{"outage rate/slot", "COGCAST completions", "COGCAST median slots", "COGCOMP exact", "COGCOMP stalled", "COGCOMP corrupted"},
 	}
 	trials := cfg.trials()
+	type outageResult struct {
+		castDone  bool
+		castSlots float64
+		// comp outcome: exactly one of these is true per trial.
+		exact, stalled, corrupted bool
+	}
 	for _, rate := range rates {
-		castDone := 0
-		castSlots := make([]float64, 0, trials)
-		exact, stalled, corrupted := 0, 0, 0
-		for trial := 0; trial < trials; trial++ {
+		results, err := forTrials(cfg, trials, func(trial int) (outageResult, error) {
+			var out outageResult
 			ts := rng.Derive(cfg.Seed, int64(rate*1000), int64(trial), 200)
 			schedule, err := faults.NewRandomOutages(rate, duration, ts, 0)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 
 			// COGCAST under faults.
@@ -75,7 +79,7 @@ func runE20(cfg Config) ([]*Table, error) {
 			}
 			eng, err := sim.NewEngine(asn, protos, ts)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			informed := func() bool {
 				for _, nd := range castNodes {
@@ -86,11 +90,11 @@ func runE20(cfg Config) ([]*Table, error) {
 				return true
 			}
 			if _, err := eng.RunWhile(200000, func() bool { return !informed() }); err != nil && !errors.Is(err, sim.ErrMaxSlots) {
-				return nil, err
+				return out, err
 			}
 			if informed() {
-				castDone++
-				castSlots = append(castSlots, float64(eng.Slot()))
+				out.castDone = true
+				out.castSlots = float64(eng.Slot())
 			}
 
 			// COGCOMP under the same faults.
@@ -109,18 +113,39 @@ func runE20(cfg Config) ([]*Table, error) {
 			}
 			ceng, err := sim.NewEngine(asn, compProtos, ts)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			if _, err := ceng.Run(20 * (2*l + n)); err != nil {
 				if errors.Is(err, sim.ErrMaxSlots) {
-					stalled++
-					continue
+					out.stalled = true
+					return out, nil
 				}
-				return nil, err
+				return out, err
 			}
 			if compNodes[0].Aggregate() == aggfunc.Value(want) {
-				exact++
+				out.exact = true
 			} else {
+				out.corrupted = true
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		castDone := 0
+		castSlots := make([]float64, 0, trials)
+		exact, stalled, corrupted := 0, 0, 0
+		for _, r := range results {
+			if r.castDone {
+				castDone++
+				castSlots = append(castSlots, r.castSlots)
+			}
+			switch {
+			case r.exact:
+				exact++
+			case r.stalled:
+				stalled++
+			case r.corrupted:
 				corrupted++
 			}
 		}
@@ -154,36 +179,49 @@ func runE21(cfg Config) ([]*Table, error) {
 		slots []float64
 		m     metrics.Metrics
 	}
-	var cog, rdv row
-	for trial := 0; trial < trials; trial++ {
+	type utilResult struct {
+		cogSlots, rdvSlots float64
+		cogM, rdvM         metrics.Metrics
+	}
+	results, err := forTrials(cfg, trials, func(trial int) (utilResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 210)
 		asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		if err != nil {
-			return nil, err
+			return utilResult{}, err
 		}
 		var cm metrics.Collector
 		cres, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 			UntilAllInformed: true, MaxSlots: 1_000_000, Observer: &cm,
 		})
 		if err != nil {
-			return nil, err
+			return utilResult{}, err
 		}
 		if !cres.AllInformed {
-			return nil, fmt.Errorf("exper: E21 COGCAST incomplete")
+			return utilResult{}, fmt.Errorf("exper: E21 COGCAST incomplete")
 		}
-		cog.slots = append(cog.slots, float64(cres.Slots))
-		cog.m = accumulate(cog.m, cm.Snapshot(), trials)
 
 		var rm metrics.Collector
 		rres, err := baseline.RendezvousBroadcast(asn, 0, "m", ts, 4_000_000, sim.WithObserver(&rm))
 		if err != nil {
-			return nil, err
+			return utilResult{}, err
 		}
 		if !rres.AllInformed {
-			return nil, fmt.Errorf("exper: E21 rendezvous incomplete")
+			return utilResult{}, fmt.Errorf("exper: E21 rendezvous incomplete")
 		}
-		rdv.slots = append(rdv.slots, float64(rres.Slots))
-		rdv.m = accumulate(rdv.m, rm.Snapshot(), trials)
+		return utilResult{
+			cogSlots: float64(cres.Slots), rdvSlots: float64(rres.Slots),
+			cogM: cm.Snapshot(), rdvM: rm.Snapshot(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cog, rdv row
+	for _, r := range results {
+		cog.slots = append(cog.slots, r.cogSlots)
+		cog.m = accumulate(cog.m, r.cogM, trials)
+		rdv.slots = append(rdv.slots, r.rdvSlots)
+		rdv.m = accumulate(rdv.m, r.rdvM, trials)
 	}
 	for _, entry := range []struct {
 		name string
@@ -234,32 +272,49 @@ func runE22(cfg Config) ([]*Table, error) {
 		Columns: []string{"regime", "stationary occupancy", "mean free channels/node", "median slots", "completions"},
 	}
 	trials := cfg.trials()
+	type spectrumResult struct {
+		done    bool
+		slots   float64
+		freeSum float64
+	}
 	for _, p := range points {
-		slots := make([]float64, 0, trials)
-		done := 0
-		var freeSum float64
-		var freeSamples int
-		for trial := 0; trial < trials; trial++ {
+		results, err := forTrials(cfg, trials, func(trial int) (spectrumResult, error) {
+			var out spectrumResult
 			ts := rng.Derive(cfg.Seed, int64(trial), int64(p.pBusy*100), 220)
 			model, err := spectrum.New(spectrum.Config{
 				Nodes: nodes, Channels: channels, Pilots: pilots,
 				PBusy: p.pBusy, PFree: p.pFree, MissProb: p.miss, Seed: ts,
 			})
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			res, err := cogcast.Run(model, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 500000})
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			if res.AllInformed {
-				done++
-				slots = append(slots, float64(res.Slots))
+				out.done = true
+				out.slots = float64(res.Slots)
 			}
 			for s := 50; s < 60; s++ {
-				freeSum += float64(len(model.ChannelSet(0, s)))
-				freeSamples++
+				out.freeSum += float64(len(model.ChannelSet(0, s)))
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		slots := make([]float64, 0, trials)
+		done := 0
+		var freeSum float64
+		var freeSamples int
+		for _, r := range results {
+			if r.done {
+				done++
+				slots = append(slots, r.slots)
+			}
+			freeSum += r.freeSum
+			freeSamples += 10
 		}
 		s, err := stats.Summarize(slots)
 		if err != nil {

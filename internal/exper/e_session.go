@@ -31,14 +31,15 @@ func runE25(cfg Config) ([]*Table, error) {
 		Columns: []string{"rounds", "tuned window (slots)", "session slots/round", "independent slots/round", "amortization gain"},
 	}
 	for _, rc := range roundCounts {
-		sessionPer := make([]float64, 0, cfg.trials())
-		independentPer := make([]float64, 0, cfg.trials())
-		var windowSlots int
-		for trial := 0; trial < cfg.trials(); trial++ {
+		type sessionResult struct {
+			sessionPer, independentPer float64
+			windowSlots                int
+		}
+		results, err := forTrials(cfg, cfg.trials(), func(trial int) (sessionResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(rc), int64(trial), 250)
 			asn, err := assign.SharedCore(n, c, k, 24, assign.LocalLabels, ts)
 			if err != nil {
-				return nil, err
+				return sessionResult{}, err
 			}
 			rounds := make([][]int64, rc)
 			for r := range rounds {
@@ -50,30 +51,43 @@ func runE25(cfg Config) ([]*Table, error) {
 			// use, with incompleteness detection as the safety net).
 			probe, err := cogcomp.RunRounds(asn, 0, rounds[:1], ts, cogcomp.SessionConfig{})
 			if err != nil {
-				return nil, err
+				return sessionResult{}, err
 			}
 			tuned := 2*probe.FinishSteps[0] + 8
 			res, err := cogcomp.RunRounds(asn, 0, rounds, ts, cogcomp.SessionConfig{RoundSteps: tuned})
 			if err != nil {
-				return nil, err
+				return sessionResult{}, err
 			}
 			for r := range rounds {
 				if want := aggfunc.Fold(aggfunc.Sum{}, rounds[r]); res.Values[r] != want {
-					return nil, fmt.Errorf("exper: E25 round %d aggregate mismatch", r)
+					return sessionResult{}, fmt.Errorf("exper: E25 round %d aggregate mismatch", r)
 				}
 			}
-			windowSlots = res.RoundSlots
-			sessionPer = append(sessionPer, float64(res.TotalSlots)/float64(rc))
 
 			total := 0
 			for r := range rounds {
 				single, err := cogcomp.Run(asn, 0, rounds[r], rng.Derive(ts, int64(r), 1), cogcomp.Config{})
 				if err != nil {
-					return nil, err
+					return sessionResult{}, err
 				}
 				total += single.TotalSlots
 			}
-			independentPer = append(independentPer, float64(total)/float64(rc))
+			return sessionResult{
+				sessionPer:     float64(res.TotalSlots) / float64(rc),
+				independentPer: float64(total) / float64(rc),
+				windowSlots:    res.RoundSlots,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sessionPer := make([]float64, 0, cfg.trials())
+		independentPer := make([]float64, 0, cfg.trials())
+		var windowSlots int
+		for _, r := range results {
+			sessionPer = append(sessionPer, r.sessionPer)
+			independentPer = append(independentPer, r.independentPer)
+			windowSlots = r.windowSlots
 		}
 		ss, err := stats.Summarize(sessionPer)
 		if err != nil {

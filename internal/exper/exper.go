@@ -12,6 +12,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"github.com/cogradio/crn/internal/parallel"
 )
 
 // Config controls an experiment run.
@@ -25,6 +27,12 @@ type Config struct {
 	// Quick shrinks sweeps for use under `go test`/benchmarks; full runs
 	// (cmd/cogbench) leave it false.
 	Quick bool
+	// Parallel bounds the number of worker goroutines running independent
+	// trials concurrently. 0 means parallel.DefaultWorkers() (GOMAXPROCS);
+	// 1 forces serial execution. Tables are byte-identical for every value:
+	// per-trial seeds are derived from the trial index alone, and results
+	// are merged in trial order.
+	Parallel int
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -35,6 +43,22 @@ func (c Config) trials() int {
 		return c.Trials
 	}
 	return DefaultTrials
+}
+
+func (c Config) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return parallel.DefaultWorkers()
+}
+
+// forTrials executes fn for every trial index on the configured worker pool
+// and returns the per-trial results in trial order. fn must derive all of
+// its randomness from the trial index (rng.Derive of a fixed seed and the
+// index) and share no mutable state, which is what makes the resulting
+// tables independent of Config.Parallel.
+func forTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	return parallel.Map(trials, cfg.workers(), fn)
 }
 
 // Table is a rendered experiment result.

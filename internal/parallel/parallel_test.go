@@ -1,0 +1,87 @@
+package parallel_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/cogradio/crn/internal/parallel"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		got, err := parallel.Map(100, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroTrials(t *testing.T) {
+	got, err := parallel.Map(0, 4, func(int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapReportsLowestFailingIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := parallel.Map(50, workers, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("%w at %d", boom, i)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "trial 3") {
+			t.Errorf("workers=%d: err = %v, want the lowest failing trial (3)", workers, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := parallel.Map(64, workers, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		// Busy-wait a moment so goroutines overlap.
+		for j := 0; j < 10000; j++ {
+			_ = j
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent invocations, want <= %d", p, workers)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if parallel.DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", parallel.DefaultWorkers())
+	}
+}

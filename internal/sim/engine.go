@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync/atomic"
 
 	"github.com/cogradio/crn/internal/rng"
 )
@@ -14,7 +14,9 @@ import (
 var ErrMaxSlots = errors.New("sim: slot budget exhausted before all nodes terminated")
 
 // ChannelOutcome describes what happened on one physical channel during one
-// slot. It is produced only when an Observer is attached.
+// slot. It is produced only when an Observer is attached. The Broadcasters
+// and Listeners slices alias the engine's per-slot scratch: they are valid
+// only for the duration of the OnSlot call and must be copied to be kept.
 type ChannelOutcome struct {
 	// Channel is the physical channel index.
 	Channel int
@@ -28,8 +30,10 @@ type ChannelOutcome struct {
 }
 
 // Observer receives a per-slot report of all channels that saw activity
-// (at least one broadcaster or listener). Outcomes are sorted by channel and
-// are only valid for the duration of the call.
+// (at least one broadcaster or listener). Outcomes are sorted by channel.
+// The outcomes slice and the node slices inside each ChannelOutcome are
+// engine-owned scratch, reused on the next slot: they are only valid for
+// the duration of the call and must be copied to be retained.
 type Observer interface {
 	OnSlot(slot int, outcomes []ChannelOutcome)
 }
@@ -55,13 +59,30 @@ type Engine struct {
 	slot int
 	obs  Observer
 
-	// Per-slot scratch, reused across slots to avoid allocation.
-	acts      []Action
-	bcast     map[int][]NodeID // physical channel -> broadcasters
-	listen    map[int][]NodeID // physical channel -> listeners
-	active    []int            // physical channels touched this slot
-	activeSet map[int]struct{}
+	// Per-slot scratch, reused across slots so a steady-state RunSlot does
+	// not allocate. bcast and listen are dense, indexed by physical channel
+	// and sized to asn.Channels() up front (grown on demand should an
+	// assignment hand out a larger index). touched marks the channels used
+	// this slot and active lists them so reset is O(active), not O(C).
+	// Resolution scans physical channels in ascending index order — the same
+	// deterministic order the previous sorted-map implementation produced.
+	acts       []Action
+	bcast      [][]NodeID // physical channel -> broadcasters
+	listen     [][]NodeID // physical channel -> listeners
+	touched    []bool     // physical channel -> used this slot
+	active     []int      // physical channels touched this slot (unordered)
+	outScratch []ChannelOutcome
 }
+
+// slotsExecuted counts every slot executed by any engine in the process; see
+// SlotsExecuted.
+var slotsExecuted atomic.Int64
+
+// SlotsExecuted returns the total number of slots executed by all engines in
+// this process since it started. The counter is monotonic and safe for
+// concurrent use; callers measure work by differencing two reads (this is
+// what cogbench's -bench-out accounting does).
+func SlotsExecuted() int64 { return slotsExecuted.Load() }
 
 // CollisionModel selects how concurrent broadcasts on one channel resolve.
 type CollisionModel uint8
@@ -120,14 +141,16 @@ func NewEngine(asn Assignment, nodes []Protocol, seed int64, opts ...Option) (*E
 			return nil, fmt.Errorf("sim: protocol for node %d is nil", i)
 		}
 	}
+	c := asn.Channels()
 	e := &Engine{
-		asn:       asn,
-		nodes:     nodes,
-		rand:      rng.New(seed, int64(len(nodes)), 0x5e5),
-		acts:      make([]Action, len(nodes)),
-		bcast:     make(map[int][]NodeID),
-		listen:    make(map[int][]NodeID),
-		activeSet: make(map[int]struct{}),
+		asn:     asn,
+		nodes:   nodes,
+		rand:    rng.New(seed, int64(len(nodes)), 0x5e5),
+		acts:    make([]Action, len(nodes)),
+		bcast:   make([][]NodeID, c),
+		listen:  make([][]NodeID, c),
+		touched: make([]bool, c),
+		active:  make([]int, 0, c),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -154,10 +177,13 @@ func (e *Engine) AllDone() bool {
 func (e *Engine) RunSlot() error {
 	slot := e.slot
 	e.slot++
+	slotsExecuted.Add(1)
 
 	e.touchReset()
 
 	// Phase A: collect actions and bucket nodes by physical channel.
+	broadcasts := 0
+	maxCh := -1 // highest physical channel touched; bounds phase B's scan
 	for i, p := range e.nodes {
 		if p.Done() {
 			e.acts[i] = Idle()
@@ -174,24 +200,46 @@ func (e *Engine) RunSlot() error {
 				slot, i, act.Channel, len(set))
 		}
 		phys := set[act.Channel]
-		e.touch(phys)
+		if phys < 0 {
+			return fmt.Errorf("sim: slot %d: assignment mapped node %d to negative physical channel %d", slot, i, phys)
+		}
+		if phys >= len(e.bcast) {
+			e.growScratch(phys + 1)
+		}
+		if !e.touched[phys] {
+			e.touched[phys] = true
+			e.active = append(e.active, phys)
+		}
+		if phys > maxCh {
+			maxCh = phys
+		}
 		switch act.Op {
 		case OpListen:
 			e.listen[phys] = append(e.listen[phys], NodeID(i))
 		case OpBroadcast:
 			e.bcast[phys] = append(e.bcast[phys], NodeID(i))
+			broadcasts++
 		default:
 			return fmt.Errorf("sim: slot %d: node %d produced invalid op %d", slot, i, act.Op)
 		}
 	}
 
-	// Phase B: resolve channels in deterministic (sorted) order.
-	sort.Ints(e.active)
+	// Fast path: with no broadcaster anywhere there is no feedback to
+	// deliver, and with no observer there is nothing to report — skip
+	// channel resolution entirely.
+	if broadcasts == 0 && e.obs == nil {
+		return nil
+	}
+
+	// Phase B: resolve channels in deterministic ascending physical order.
 	var outcomes []ChannelOutcome
 	if e.obs != nil {
-		outcomes = make([]ChannelOutcome, 0, len(e.active))
+		outcomes = e.outScratch[:0]
 	}
-	for _, ch := range e.active {
+	for ch := 0; ch <= maxCh; ch++ {
+		if !e.touched[ch] {
+			continue
+		}
 		bs := e.bcast[ch]
 		winner := None
 		if len(bs) > 0 {
@@ -232,6 +280,9 @@ func (e *Engine) RunSlot() error {
 		}
 	}
 	if e.obs != nil {
+		// Keep the (possibly regrown) backing array so the next observed
+		// slot appends into it instead of allocating.
+		e.outScratch = outcomes
 		e.obs.OnSlot(slot, outcomes)
 	}
 	return nil
@@ -272,16 +323,20 @@ func (e *Engine) deliver(id NodeID, slot int, ev Event) {
 	e.nodes[id].Deliver(slot, ev)
 }
 
-func (e *Engine) touch(phys int) {
-	if _, ok := e.activeSet[phys]; !ok {
-		e.activeSet[phys] = struct{}{}
-		e.active = append(e.active, phys)
+// growScratch extends the dense per-channel scratch to cover at least n
+// physical channels — only taken when an assignment hands out an index at or
+// above the asn.Channels() it advertised at construction.
+func (e *Engine) growScratch(n int) {
+	for len(e.bcast) < n {
+		e.bcast = append(e.bcast, nil)
+		e.listen = append(e.listen, nil)
+		e.touched = append(e.touched, false)
 	}
 }
 
 func (e *Engine) touchReset() {
 	for _, ch := range e.active {
-		delete(e.activeSet, ch)
+		e.touched[ch] = false
 		e.bcast[ch] = e.bcast[ch][:0]
 		e.listen[ch] = e.listen[ch][:0]
 	}
