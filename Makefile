@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-engine baseline clean
+.PHONY: all build test race vet fmt-check check bench bench-engine baseline clean
 
 all: check
 
@@ -24,7 +24,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Fail if any file is not gofmt-clean; prints the offenders.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+check: build vet fmt-check test race
 
 # Full benchmark suite (one benchmark per experiment plus the substrate
 # micro-benchmarks).

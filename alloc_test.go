@@ -7,6 +7,7 @@ import (
 	"github.com/cogradio/crn/internal/cogcast"
 	"github.com/cogradio/crn/internal/metrics"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // steadyStateEngine builds a 256-node COGCAST network where every node is
@@ -64,5 +65,38 @@ func TestRunSlotObservedAllocBound(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Errorf("observed RunSlot allocates %.2f objects/slot, want <= 1", allocs)
+	}
+}
+
+// TestTraceDisabledAllocFree pins the observability layer's zero-cost
+// contract: with tracing disabled (no sink attached anywhere), the
+// steady-state slot path must remain exactly the zero-allocation loop of
+// TestRunSlotAllocFree — adding the trace package cannot tax runs that do
+// not use it.
+func TestTraceDisabledAllocFree(t *testing.T) {
+	eng := steadyStateEngine(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("untraced steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
+	}
+}
+
+// TestTraceRingAllocFree pins the flight-recorder mode: recording every
+// channel outcome and slot marker into a trace.Ring must not reintroduce
+// per-slot allocations (Event is a fixed-size value, the ring storage is
+// preallocated).
+func TestTraceRingAllocFree(t *testing.T) {
+	eng := steadyStateEngine(t, sim.WithObserver(trace.NewRecorder(trace.NewRing(4096))))
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ring-traced steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
 	}
 }

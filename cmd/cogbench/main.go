@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +24,9 @@ import (
 
 	"github.com/cogradio/crn/internal/exper"
 	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/prof"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 func main() {
@@ -56,7 +59,7 @@ type benchReport struct {
 	TotalWallMS float64       `json:"total_wall_ms"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("cogbench", flag.ContinueOnError)
 	var (
 		expList  = fs.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E6) or 'all'")
@@ -67,10 +70,23 @@ func run(args []string, out io.Writer) error {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
 		benchOut = fs.String("bench-out", "", "write a machine-readable JSON benchmark report (wall-clock, slots, allocs per experiment) to this file")
+		traceTo  = fs.String("trace", "", "record a JSONL event trace of the traced experiments to this file (forces serial trials; schema in TRACE.md)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); serr != nil && retErr == nil {
+			retErr = serr
+		}
+	}()
 
 	if *list {
 		for _, e := range exper.All() {
@@ -106,6 +122,29 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		sink := trace.NewJSONL(w)
+		sink.SetMeta(trace.Meta{Protocol: "exper", Seed: *seed})
+		cfg.Trace = sink
+		report.Parallel = 1 // sinks force serial trials
+		defer func() {
+			err := w.Flush()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				err = sink.Err()
+			}
+			if err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
 	for _, e := range selected {
 		start := time.Now()
 		slots0 := sim.SlotsExecuted()

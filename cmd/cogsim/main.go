@@ -9,18 +9,24 @@
 //	cogsim -protocol hop -n 8 -c 64 -k 63 -topology partitioned -labels global
 //	cogsim -protocol cogcast -jam random -jamk 3 -n 32 -c 16
 //	cogsim -protocol cogcast -repeat 32 -parallel 8   # seeded repetitions
+//	cogsim -protocol cogcast -trace run.jsonl         # record a JSONL trace
+//	cogsim -trace-summary run.jsonl                   # fold it back into numbers
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	crn "github.com/cogradio/crn"
+	"github.com/cogradio/crn/internal/metrics"
 	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/prof"
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/stats"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 func main() {
@@ -50,14 +56,57 @@ func run(args []string, out io.Writer) error {
 		rumors   = fs.Int("rumors", 4, "rumor count for the gossip protocol")
 		maxSlots = fs.Int("max-slots", 0, "slot budget (0 = automatic)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
-		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints a slot-count summary")
+		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints per-repetition lines and a slot-count summary")
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		traceTo  = fs.String("trace", "", "record a JSONL event trace of the run to this file (cogcast and cogcomp, single run; schema in TRACE.md)")
+		traceSum = fs.String("trace-summary", "", "read a trace file and fold it back into summary numbers instead of running anything")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	net, err := buildNetwork(*jam, *jamK, *n, *c, *k, *total, *topology, *labels, *dynamic, *seed)
+	if *traceSum != "" {
+		return summarizeTrace(out, *traceSum)
+	}
+
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	err = runProtocol(out, options{
+		protocol: *protocol, n: *n, c: *c, k: *k, total: *total,
+		topology: *topology, labels: *labels, dynamic: *dynamic,
+		jam: *jam, jamK: *jamK, seed: *seed, source: *source, agg: *agg,
+		rounds: *rounds, rumors: *rumors, maxSlots: *maxSlots, curve: *curve,
+		repeat: *repeat, workers: *workers, traceTo: *traceTo,
+	})
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// options carries the parsed flags to the protocol runner.
+type options struct {
+	protocol                 string
+	n, c, k, total           int
+	topology, labels         string
+	dynamic                  bool
+	jam                      string
+	jamK                     int
+	seed                     int64
+	source                   int
+	agg                      string
+	rounds, rumors, maxSlots int
+	curve                    bool
+	repeat, workers          int
+	traceTo                  string
+}
+
+func runProtocol(out io.Writer, o options) error {
+	net, err := buildNetwork(o.jam, o.jamK, o.n, o.c, o.k, o.total, o.topology, o.labels, o.dynamic, o.seed)
 	if err != nil {
 		return err
 	}
@@ -65,44 +114,96 @@ func run(args []string, out io.Writer) error {
 		net.Nodes(), net.ChannelsPerNode(), net.MinOverlap(), net.TotalChannels(), net.Dynamic())
 	fmt.Fprintf(out, "theory:  COGCAST slot bound = %d\n", net.SlotBound(0))
 
-	budget := *maxSlots
+	budget := o.maxSlots
 	if budget == 0 {
 		budget = 64 * net.SlotBound(0)
 	}
-	if *repeat > 1 {
-		return runRepeated(out, *protocol, *repeat, *workers, budget,
-			*jam, *jamK, *n, *c, *k, *total, *topology, *labels, *dynamic, *seed, *source, *agg, *maxSlots)
+	if o.repeat > 1 {
+		if o.traceTo != "" {
+			return fmt.Errorf("-trace records a single run; drop -repeat")
+		}
+		return runRepeated(out, o, budget)
 	}
-	switch *protocol {
+
+	// -trace: open the file up front so a bad path fails before the run,
+	// and buffer it — JSONL emits one small write per event.
+	var traceFile *os.File
+	var traceW *bufio.Writer
+	if o.traceTo != "" {
+		if o.protocol != "cogcast" && o.protocol != "cogcomp" {
+			return fmt.Errorf("-trace supports cogcast and cogcomp, not %q", o.protocol)
+		}
+		traceFile, err = os.Create(o.traceTo)
+		if err != nil {
+			return err
+		}
+		traceW = bufio.NewWriter(traceFile)
+	}
+	closeTrace := func() error {
+		if traceFile == nil {
+			return nil
+		}
+		ferr := traceW.Flush()
+		if cerr := traceFile.Close(); ferr == nil {
+			ferr = cerr
+		}
+		traceFile = nil
+		return ferr
+	}
+	defer closeTrace()
+
+	switch o.protocol {
 	case "cogcast":
-		res, err := net.Broadcast(crn.BroadcastOptions{
-			Source: *source, Payload: "INIT", Seed: *seed,
-			RunToCompletion: true, MaxSlots: budget, Trajectory: *curve,
-		})
+		opts := crn.BroadcastOptions{
+			Source: o.source, Payload: "INIT", Seed: o.seed,
+			RunToCompletion: true, MaxSlots: budget, Trajectory: o.curve,
+		}
+		if traceW != nil {
+			opts.Trace = traceW
+			opts.CollectMetrics = true
+		}
+		res, err := net.Broadcast(opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "cogcast: %d slots, all informed: %v, tree height %d\n",
 			res.Slots, res.AllInformed, res.TreeHeight)
-		if *curve {
+		if o.curve {
 			fmt.Fprintf(out, "epidemic: %s\n", sparkline(res.Trajectory, net.Nodes()))
+		}
+		if traceW != nil {
+			if err := closeTrace(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "medium: %s\n", mediumLine(res.Metrics))
+			fmt.Fprintf(out, "trace: wrote %s\n", o.traceTo)
 		}
 	case "cogcomp":
 		inputs := make([]int64, net.Nodes())
 		for i := range inputs {
 			inputs[i] = int64(i)
 		}
-		res, err := net.Aggregate(inputs, crn.AggregateOptions{
-			Source: *source, Func: *agg, Seed: *seed, MaxSlots: *maxSlots,
-		})
+		opts := crn.AggregateOptions{
+			Source: o.source, Func: o.agg, Seed: o.seed, MaxSlots: o.maxSlots,
+		}
+		if traceW != nil {
+			opts.Trace = traceW
+		}
+		res, err := net.Aggregate(inputs, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "cogcomp: %d slots (phases %d/%d/%d/%d), %s = %v, max message %d words\n",
 			res.Slots, res.Phase1Slots, res.Phase2Slots, res.Phase3Slots, res.Phase4Slots,
-			*agg, res.Value, res.MaxMessageSize)
+			o.agg, res.Value, res.MaxMessageSize)
+		if traceW != nil {
+			if err := closeTrace(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace: wrote %s\n", o.traceTo)
+		}
 	case "session":
-		roundInputs := make([][]int64, *rounds)
+		roundInputs := make([][]int64, o.rounds)
 		for r := range roundInputs {
 			roundInputs[r] = make([]int64, net.Nodes())
 			for i := range roundInputs[r] {
@@ -110,67 +211,120 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
-			Source: *source, Func: *agg, Seed: *seed,
+			Source: o.source, Func: o.agg, Seed: o.seed,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "session: %d rounds in %d slots (setup %d + %d/round window)\n",
-			*rounds, res.Slots, res.SetupSlots, res.RoundSlots)
+			o.rounds, res.Slots, res.SetupSlots, res.RoundSlots)
 		for r, v := range res.Values {
-			fmt.Fprintf(out, "  round %d: %s = %v\n", r+1, *agg, v)
+			fmt.Fprintf(out, "  round %d: %s = %v\n", r+1, o.agg, v)
 		}
 	case "gossip":
-		sources := make([]crn.NodeID, *rumors)
+		sources := make([]crn.NodeID, o.rumors)
 		for i := range sources {
-			sources[i] = (i * net.Nodes()) / *rumors
+			sources[i] = (i * net.Nodes()) / o.rumors
 		}
-		res, err := net.Gossip(sources, *seed, 0)
+		res, err := net.Gossip(sources, o.seed, 0)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "gossip: %d rumors to all %d nodes in %d slots, complete: %v\n",
-			*rumors, net.Nodes(), res.Slots, res.Complete)
+			o.rumors, net.Nodes(), res.Slots, res.Complete)
 	case "rendezvous":
-		slots, done, err := net.RendezvousBroadcast(*source, "INIT", *seed, 128*budget)
+		slots, done, err := net.RendezvousBroadcast(o.source, "INIT", o.seed, 128*budget)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "rendezvous broadcast: %d slots, complete: %v\n", slots, done)
 	case "rendezvous-agg":
 		inputs := make([]int64, net.Nodes())
-		slots, done, err := net.RendezvousAggregate(*source, inputs, *seed, 1024*budget)
+		slots, done, err := net.RendezvousAggregate(o.source, inputs, o.seed, 1024*budget)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "rendezvous aggregation: %d slots, complete: %v\n", slots, done)
 	case "hop":
-		slots, done, err := net.HoppingTogether(*source, "INIT", *seed, 64*net.TotalChannels())
+		slots, done, err := net.HoppingTogether(o.source, "INIT", o.seed, 64*net.TotalChannels())
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "hopping-together: %d slots, complete: %v (one spectrum pass = %d)\n",
 			slots, done, net.TotalChannels())
 	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+		return fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+	return nil
+}
+
+// mediumLine renders public MediumMetrics through the internal
+// metrics.Metrics formatter, so the live run's line and the one
+// -trace-summary replays from a trace are comparable byte for byte.
+func mediumLine(m *crn.MediumMetrics) string {
+	return metrics.Metrics{
+		Slots:               m.Slots,
+		BusyChannelsPerSlot: m.BusyChannelsPerSlot,
+		CollisionRate:       m.CollisionRate,
+		DeliveryRate:        m.DeliveryRate,
+		BroadcastsPerSlot:   m.BroadcastsPerSlot,
+	}.String()
+}
+
+// summarizeTrace implements -trace-summary: read a JSONL trace and fold it
+// back into the numbers a live run would have printed — the header, event
+// counts per kind, the replayed medium metrics, and the protocol's
+// progress/phase milestones.
+func summarizeTrace(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := trace.Summarize(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	m := s.Meta
+	fmt.Fprintf(out, "trace: %s protocol=%s n=%d c=%d k=%d C=%d seed=%d collisions=%s\n",
+		path, m.Protocol, m.Nodes, m.PerNode, m.MinOverlap, m.Channels, m.Seed, m.Collisions)
+	totalEvents := 0
+	for _, count := range s.Events {
+		totalEvents += count
+	}
+	fmt.Fprintf(out, "events: %d", totalEvents)
+	for _, kind := range []trace.Kind{
+		trace.KindSlot, trace.KindChannel, trace.KindProgress, trace.KindInformed,
+		trace.KindPhase, trace.KindCensus, trace.KindFault, trace.KindJam, trace.KindTrial,
+	} {
+		if count := s.Events[kind]; count > 0 {
+			fmt.Fprintf(out, " %s=%d", kind, count)
+		}
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "medium: %s\n", s.Metrics)
+	if s.TotalNodes >= 0 {
+		fmt.Fprintf(out, "informed: %d/%d\n", s.FinalInformed, s.TotalNodes)
+	}
+	for _, p := range s.Phases {
+		fmt.Fprintf(out, "phase %d: starts slot %d (nominal length %d)\n", p.A, p.Slot, p.B)
 	}
 	return nil
 }
 
 // runRepeated executes -repeat independent seeded repetitions of cogcast or
-// cogcomp across a bounded worker pool and prints a slot-count summary.
-// Every repetition rebuilds its network from a seed derived from the
-// repetition index, so the summary is byte-identical at any -parallel value
-// (dynamic and jammed assignments are stateful and must not be shared).
-func runRepeated(out io.Writer, protocol string, repeat, workers, budget int,
-	jam string, jamK, n, c, k, total int, topology, labels string, dynamic bool,
-	seed int64, source int, agg string, maxSlots int) error {
+// cogcomp across a bounded worker pool, prints one line per repetition
+// (index, derived seed, slots) and a slot-count summary. Every repetition
+// rebuilds its network from a seed derived from the repetition index, so
+// the output is byte-identical at any -parallel value (dynamic and jammed
+// assignments are stateful and must not be shared).
+func runRepeated(out io.Writer, o options, budget int) error {
 	var fn func(trialSeed int64, net *crn.Network) (float64, error)
-	switch protocol {
+	switch o.protocol {
 	case "cogcast":
 		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
 			res, err := net.Broadcast(crn.BroadcastOptions{
-				Source: source, Payload: "INIT", Seed: trialSeed,
+				Source: o.source, Payload: "INIT", Seed: trialSeed,
 				RunToCompletion: true, MaxSlots: budget,
 			})
 			if err != nil {
@@ -188,7 +342,7 @@ func runRepeated(out io.Writer, protocol string, repeat, workers, budget int,
 				inputs[i] = int64(i)
 			}
 			res, err := net.Aggregate(inputs, crn.AggregateOptions{
-				Source: source, Func: agg, Seed: trialSeed, MaxSlots: maxSlots,
+				Source: o.source, Func: o.agg, Seed: trialSeed, MaxSlots: o.maxSlots,
 			})
 			if err != nil {
 				return 0, err
@@ -196,25 +350,32 @@ func runRepeated(out io.Writer, protocol string, repeat, workers, budget int,
 			return float64(res.Slots), nil
 		}
 	default:
-		return fmt.Errorf("-repeat supports cogcast and cogcomp, not %q", protocol)
+		return fmt.Errorf("-repeat supports cogcast and cogcomp, not %q", o.protocol)
 	}
-	slots, err := parallel.Map(repeat, workers, func(i int) (float64, error) {
-		trialSeed := rng.Derive(seed, int64(i))
-		net, err := buildNetwork(jam, jamK, n, c, k, total, topology, labels, dynamic, trialSeed)
+	slots, err := parallel.Map(o.repeat, o.workers, func(i int) (float64, error) {
+		trialSeed := rng.Derive(o.seed, int64(i))
+		net, err := buildNetwork(o.jam, o.jamK, o.n, o.c, o.k, o.total, o.topology, o.labels, o.dynamic, trialSeed)
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("rep %d (seed %d): %w", i, trialSeed, err)
 		}
-		return fn(trialSeed, net)
+		v, err := fn(trialSeed, net)
+		if err != nil {
+			return 0, fmt.Errorf("rep %d (seed %d): %w", i, trialSeed, err)
+		}
+		return v, nil
 	})
 	if err != nil {
 		return err
+	}
+	for i, v := range slots {
+		fmt.Fprintf(out, "rep %d seed=%d: %.0f slots\n", i, rng.Derive(o.seed, int64(i)), v)
 	}
 	s, err := stats.Summarize(slots)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "%s x%d: slots min %.0f / median %.1f / mean %.1f / p99 %.1f / max %.0f\n",
-		protocol, repeat, s.Min, s.Median, s.Mean, s.P99, s.Max)
+		o.protocol, o.repeat, s.Min, s.Median, s.Mean, s.P99, s.Max)
 	return nil
 }
 

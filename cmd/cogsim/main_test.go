@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -111,6 +112,11 @@ func TestRepeatSummary(t *testing.T) {
 	if !strings.Contains(out, "cogcast x8: slots min") {
 		t.Errorf("output = %q", out)
 	}
+	for _, rep := range []string{"rep 0 seed=", "rep 7 seed="} {
+		if !strings.Contains(out, rep) {
+			t.Errorf("missing per-repetition line %q in %q", rep, out)
+		}
+	}
 }
 
 func TestRepeatParallelIdentical(t *testing.T) {
@@ -129,6 +135,66 @@ func TestRepeatUnsupportedProtocol(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-protocol", "gossip", "-n", "16", "-c", "4", "-k", "2", "-repeat", "4"}, &out); err == nil {
 		t.Error("gossip -repeat accepted")
+	}
+}
+
+// mediumLineOf extracts the "medium: ..." line from cogsim output.
+func mediumLineOf(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "medium: ") {
+			return line
+		}
+	}
+	t.Fatalf("no medium line in %q", out)
+	return ""
+}
+
+func TestTraceSummaryMatchesLiveRun(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	live := runOK(t, "-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2",
+		"-seed", "7", "-trace", path)
+	replay := runOK(t, "-trace-summary", path)
+	if lm, rm := mediumLineOf(t, live), mediumLineOf(t, replay); lm != rm {
+		t.Errorf("medium line diverged:\nlive:   %q\nreplay: %q", lm, rm)
+	}
+	if !strings.Contains(replay, "informed: 24/24") {
+		t.Errorf("summary output = %q", replay)
+	}
+}
+
+func TestTraceCogcomp(t *testing.T) {
+	path := t.TempDir() + "/agg.jsonl"
+	runOK(t, "-protocol", "cogcomp", "-n", "16", "-c", "4", "-k", "2", "-trace", path)
+	replay := runOK(t, "-trace-summary", path)
+	if !strings.Contains(replay, "protocol=cogcomp") || !strings.Contains(replay, "phase 4:") {
+		t.Errorf("summary output = %q", replay)
+	}
+}
+
+func TestTraceFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	path := t.TempDir() + "/x.jsonl"
+	cases := [][]string{
+		{"-protocol", "gossip", "-trace", path},
+		{"-protocol", "cogcast", "-repeat", "4", "-trace", path},
+		{"-trace-summary", t.TempDir() + "/missing.jsonl"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	runOK(t, "-protocol", "cogcast", "-n", "12", "-c", "4", "-k", "2",
+		"-cpuprofile", dir+"/cpu.pprof", "-memprofile", dir+"/mem.pprof")
+	for _, p := range []string{dir + "/cpu.pprof", dir + "/mem.pprof"} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ package crn
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/cogradio/crn/internal/aggfunc"
 	"github.com/cogradio/crn/internal/assign"
@@ -44,6 +45,7 @@ import (
 	"github.com/cogradio/crn/internal/jamming"
 	"github.com/cogradio/crn/internal/metrics"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 	"github.com/cogradio/crn/internal/tree"
 )
 
@@ -231,6 +233,12 @@ type BroadcastOptions struct {
 	// CollectMetrics requests medium statistics (busy channels, collision
 	// and delivery rates) in the result.
 	CollectMetrics bool
+	// Trace, when non-nil, streams a structured JSONL event trace of the
+	// run to the writer — per-slot channel outcomes, epidemic progress,
+	// per-node informed events, and (on jammed networks) per-slot jamming
+	// injections. The schema is documented in TRACE.md. Tracing does not
+	// change the run's results. Buffer the writer for large runs.
+	Trace io.Writer
 }
 
 // BroadcastResult reports a Broadcast run.
@@ -254,6 +262,8 @@ type BroadcastResult struct {
 
 // MediumMetrics summarizes how a run used the radio medium.
 type MediumMetrics struct {
+	// Slots is the number of slots the statistics cover.
+	Slots int
 	// BusyChannelsPerSlot is the mean number of channels carrying traffic.
 	BusyChannelsPerSlot float64
 	// BroadcastsPerSlot is the mean number of transmissions per slot.
@@ -276,9 +286,20 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		collector = &metrics.Collector{}
 		cfg.Observer = collector
 	}
+	var sink *trace.JSONL
+	if opts.Trace != nil {
+		sink = nw.newTrace(opts.Trace, "cogcast", opts.Seed, cfg.Collisions)
+		cfg.Trace = sink
+		defer nw.detachTrace()
+	}
 	res, err := cogcast.Run(nw.asn, sim.NodeID(opts.Source), opts.Payload, opts.Seed, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		if terr := sink.Err(); terr != nil {
+			return nil, terr
+		}
 	}
 	out := &BroadcastResult{
 		Slots:         res.Slots,
@@ -296,6 +317,7 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 	if collector != nil {
 		m := collector.Snapshot()
 		out.Metrics = &MediumMetrics{
+			Slots:               m.Slots,
 			BusyChannelsPerSlot: m.BusyChannelsPerSlot,
 			BroadcastsPerSlot:   m.BroadcastsPerSlot,
 			CollisionRate:       m.CollisionRate,
@@ -303,6 +325,33 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// newTrace builds the JSONL sink for a traced run: header metadata from
+// the network, plus — when the network is the Theorem 18 jamming
+// reduction — a hookup so the assignment reports its per-slot injections
+// into the same stream. detachTrace undoes the hookup after the run.
+func (nw *Network) newTrace(w io.Writer, protocol string, seed int64, collisions sim.CollisionModel) *trace.JSONL {
+	sink := trace.NewJSONL(w)
+	sink.SetMeta(trace.Meta{
+		Protocol:   protocol,
+		Nodes:      nw.Nodes(),
+		PerNode:    nw.ChannelsPerNode(),
+		MinOverlap: nw.MinOverlap(),
+		Channels:   nw.TotalChannels(),
+		Seed:       seed,
+		Collisions: collisions.String(),
+	})
+	if ja, ok := nw.asn.(*jamming.Assignment); ok {
+		ja.SetTrace(sink)
+	}
+	return sink
+}
+
+func (nw *Network) detachTrace() {
+	if ja, ok := nw.asn.(*jamming.Assignment); ok {
+		ja.SetTrace(nil)
+	}
 }
 
 // AggregateOptions configures an Aggregate run.
@@ -318,6 +367,11 @@ type AggregateOptions struct {
 	Kappa float64
 	// MaxSlots bounds the run (0 = a budget above the Theorem 10 bound).
 	MaxSlots int
+	// Trace, when non-nil, streams a structured JSONL event trace of the
+	// run to the writer — per-slot channel outcomes, phase transitions,
+	// and the final cluster census. The schema is documented in TRACE.md.
+	// Tracing does not change the run's results.
+	Trace io.Writer
 }
 
 // AggregateResult reports an Aggregate run.
@@ -366,13 +420,25 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 	if err != nil {
 		return nil, err
 	}
-	res, err := cogcomp.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cogcomp.Config{
+	cfg := cogcomp.Config{
 		Kappa:    opts.Kappa,
 		MaxSlots: opts.MaxSlots,
 		Func:     f,
-	})
+	}
+	var sink *trace.JSONL
+	if opts.Trace != nil {
+		sink = nw.newTrace(opts.Trace, "cogcomp", opts.Seed, sim.UniformWinner)
+		cfg.Trace = sink
+		defer nw.detachTrace()
+	}
+	res, err := cogcomp.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		if terr := sink.Err(); terr != nil {
+			return nil, terr
+		}
 	}
 	out := &AggregateResult{
 		Value:          exportValue(res.Value),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // Result reports one COGCAST execution.
@@ -41,6 +42,10 @@ type RunConfig struct {
 	// Observer, when non-nil, receives per-slot channel outcomes (e.g. a
 	// metrics.Collector).
 	Observer sim.Observer
+	// Trace, when non-nil, receives the run's structured event stream
+	// (TRACE.md): per-slot channel outcomes plus epidemic progress and
+	// per-node informed events. Nil disables tracing at zero cost.
+	Trace trace.Sink
 }
 
 // Run executes COGCAST over the assignment with the given source node and
@@ -63,8 +68,12 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 		protos[i] = nodes[i]
 	}
 	opts := []sim.Option{sim.WithCollisionModel(cfg.Collisions)}
-	if cfg.Observer != nil {
-		opts = append(opts, sim.WithObserver(cfg.Observer))
+	obs := cfg.Observer
+	if cfg.Trace != nil {
+		obs = sim.Tee(obs, trace.NewRecorder(cfg.Trace))
+	}
+	if obs != nil {
+		opts = append(opts, sim.WithObserver(obs))
 	}
 	eng, err := sim.NewEngine(asn, protos, seed, opts...)
 	if err != nil {
@@ -81,6 +90,17 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 		return count
 	}
 
+	// Tracing tracks which nodes are newly informed after each slot so it
+	// can emit per-node informed events and the epidemic-progress curve.
+	var wasInformed []bool
+	if cfg.Trace != nil {
+		wasInformed = make([]bool, n)
+		for i, nd := range nodes {
+			wasInformed[i] = nd.Informed()
+		}
+		cfg.Trace.Emit(trace.ProgressEvent(-1, informed(), n))
+	}
+
 	res := &Result{}
 	for eng.Slot() < maxSlots {
 		if cfg.UntilAllInformed && informed() == n {
@@ -91,6 +111,20 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 		}
 		if cfg.Trajectory {
 			res.Trajectory = append(res.Trajectory, informed())
+		}
+		if cfg.Trace != nil {
+			slot := eng.Slot() - 1
+			changed := false
+			for i, nd := range nodes {
+				if !wasInformed[i] && nd.Informed() {
+					wasInformed[i] = true
+					changed = true
+					cfg.Trace.Emit(trace.InformedEvent(slot, i, int(nd.Parent()), nd.InformedChannel()))
+				}
+			}
+			if changed {
+				cfg.Trace.Emit(trace.ProgressEvent(slot, informed(), n))
+			}
 		}
 	}
 

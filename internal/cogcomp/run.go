@@ -7,6 +7,7 @@ import (
 	"github.com/cogradio/crn/internal/aggfunc"
 	"github.com/cogradio/crn/internal/cogcast"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // ErrIncomplete is returned when aggregation finished but some nodes never
@@ -24,6 +25,12 @@ type Config struct {
 	MaxSlots int
 	// Func is the aggregate to compute. Nil means aggfunc.Sum.
 	Func aggfunc.Func
+	// Trace, when non-nil, receives the run's structured event stream
+	// (TRACE.md): per-slot channel outcomes, phase-transition events as
+	// the run crosses the nominal phase boundaries, and a final census
+	// event with the informed count and elected mediators. Nil disables
+	// tracing at zero cost.
+	Trace trace.Sink
 }
 
 // Result reports one COGCOMP execution.
@@ -83,11 +90,20 @@ func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg 
 		nodes[i] = New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, inputs[i], f, seed)
 		protos[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(asn, protos, seed)
+	var engOpts []sim.Option
+	if cfg.Trace != nil {
+		engOpts = append(engOpts, sim.WithObserver(trace.NewRecorder(cfg.Trace)))
+	}
+	eng, err := sim.NewEngine(asn, protos, seed, engOpts...)
 	if err != nil {
 		return nil, err
 	}
-	total, err := eng.Run(maxSlots)
+	var total int
+	if cfg.Trace == nil {
+		total, err = eng.Run(maxSlots)
+	} else {
+		total, err = runTraced(eng, maxSlots, l, n, cfg.Trace)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cogcomp: %w (after %d slots; l=%d n=%d)", err, total, l, n)
 	}
@@ -120,8 +136,40 @@ func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg 
 	}
 	res.InformedAfterPhase1 = informed
 	res.Complete = informed == n
+	if cfg.Trace != nil {
+		cfg.Trace.Emit(trace.CensusEvent(total, informed, res.Mediators))
+	}
 	if !res.Complete {
 		return res, ErrIncomplete
 	}
 	return res, nil
+}
+
+// runTraced mirrors eng.Run(maxSlots) slot by slot so phase-transition
+// events can be emitted the moment the run crosses the nominal phase
+// boundaries (phases one to three have the fixed lengths l, n, l; phase
+// four starts at 2l+n and runs to completion). Tiny networks may finish
+// before a boundary, in which case the remaining phase events are not
+// emitted — matching the run's actual shape rather than the nominal one.
+func runTraced(eng *sim.Engine, maxSlots, l, n int, sink trace.Sink) (int, error) {
+	boundaries := []trace.Event{
+		trace.PhaseEvent(0, 1, l),
+		trace.PhaseEvent(l, 2, n),
+		trace.PhaseEvent(l+n, 3, l),
+		trace.PhaseEvent(2*l+n, 4, 0),
+	}
+	next := 0
+	for !eng.AllDone() {
+		for next < len(boundaries) && eng.Slot() >= boundaries[next].Slot {
+			sink.Emit(boundaries[next])
+			next++
+		}
+		if eng.Slot() >= maxSlots {
+			return eng.Slot(), sim.ErrMaxSlots
+		}
+		if err := eng.RunSlot(); err != nil {
+			return eng.Slot(), err
+		}
+	}
+	return eng.Slot(), nil
 }

@@ -10,12 +10,15 @@ import (
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/stats"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // cogcastTrials runs COGCAST to completion `trials` times over assignments
 // built per-trial and returns the summary of the slot counts. Trials run on
 // cfg's worker pool; each derives its state from the trial index alone, so
-// the summary is identical at every parallelism level.
+// the summary is identical at every parallelism level. When cfg.Trace is
+// set each trial is bracketed by a trial-boundary event and streams its
+// slot and protocol events into the sink (serially; see Config.Trace).
 func cogcastTrials(cfg Config, trials int, seed int64, build func(trialSeed int64) (sim.Assignment, error)) (stats.Summary, error) {
 	slots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
 		ts := rng.Derive(seed, int64(trial))
@@ -23,8 +26,11 @@ func cogcastTrials(cfg Config, trials int, seed int64, build func(trialSeed int6
 		if err != nil {
 			return 0, err
 		}
+		if cfg.Trace != nil {
+			cfg.Trace.Emit(trace.TrialEvent(trial, ts))
+		}
 		budget := 64 * cogcast.SlotBound(asn.Nodes(), asn.PerNode(), asn.MinOverlap(), cogcast.DefaultKappa)
-		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
+		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trace: cfg.Trace})
 		if err != nil {
 			return 0, err
 		}

@@ -15,6 +15,7 @@ import (
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/spectrum"
 	"github.com/cogradio/crn/internal/stats"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 func init() {
@@ -69,13 +70,16 @@ func runE20(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return out, err
 			}
+			if cfg.Trace != nil {
+				cfg.Trace.Emit(trace.TrialEvent(trial, ts))
+			}
 
 			// COGCAST under faults.
 			castNodes := make([]*cogcast.Node, n)
 			protos := make([]sim.Protocol, n)
 			for i := range castNodes {
 				castNodes[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), i == 0, "m", ts)
-				protos[i] = faults.Wrap(castNodes[i], sim.NodeID(i), schedule)
+				protos[i] = faults.Wrap(castNodes[i], sim.NodeID(i), schedule, faults.WithTrace(cfg.Trace))
 			}
 			eng, err := sim.NewEngine(asn, protos, ts)
 			if err != nil {
@@ -109,7 +113,7 @@ func runE20(cfg Config) ([]*Table, error) {
 			compProtos := make([]sim.Protocol, n)
 			for i := range compNodes {
 				compNodes[i] = cogcomp.New(sim.View(asn, sim.NodeID(i)), i == 0, n, l, inputs[i], aggfunc.Sum{}, ts)
-				compProtos[i] = faults.Wrap(compNodes[i], sim.NodeID(i), schedule)
+				compProtos[i] = faults.Wrap(compNodes[i], sim.NodeID(i), schedule, faults.WithTrace(cfg.Trace))
 			}
 			ceng, err := sim.NewEngine(asn, compProtos, ts)
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // Config controls an experiment run.
@@ -33,6 +34,12 @@ type Config struct {
 	// per-trial seeds are derived from the trial index alone, and results
 	// are merged in trial order.
 	Parallel int
+	// Trace, when non-nil, receives structured events from the trial
+	// runners wired to it (trial boundaries, slot/protocol events from
+	// COGCAST trials, fault transitions in E20). Attaching a sink forces
+	// serial trial execution regardless of Parallel so the stream is
+	// well-ordered; results are unchanged, only wall-clock grows.
+	Trace trace.Sink
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -46,6 +53,11 @@ func (c Config) trials() int {
 }
 
 func (c Config) workers() int {
+	if c.Trace != nil {
+		// Sinks are not concurrency-safe; a well-ordered event stream
+		// requires trials to run one at a time.
+		return 1
+	}
 	if c.Parallel > 0 {
 		return c.Parallel
 	}

@@ -17,6 +17,7 @@ import (
 
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // Schedule decides whether a node is up in a given slot. Implementations
@@ -130,18 +131,41 @@ type Crasher struct {
 	id       sim.NodeID
 	schedule Schedule
 	downed   int
+	down     bool
+	sink     trace.Sink
 }
 
 var _ sim.Protocol = (*Crasher)(nil)
 
+// Option configures a Crasher.
+type Option func(*Crasher)
+
+// WithTrace makes the crasher emit a trace.KindFault event on every
+// up/down transition of its schedule. A nil sink disables emission, so
+// callers can pass a possibly-nil sink through unconditionally.
+func WithTrace(sink trace.Sink) Option {
+	return func(c *Crasher) { c.sink = sink }
+}
+
 // Wrap decorates a protocol with the fault schedule.
-func Wrap(inner sim.Protocol, id sim.NodeID, schedule Schedule) *Crasher {
-	return &Crasher{inner: inner, id: id, schedule: schedule}
+func Wrap(inner sim.Protocol, id sim.NodeID, schedule Schedule, opts ...Option) *Crasher {
+	c := &Crasher{inner: inner, id: id, schedule: schedule}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Step implements sim.Protocol.
 func (c *Crasher) Step(slot int) sim.Action {
-	if !c.schedule.Up(c.id, slot) {
+	up := c.schedule.Up(c.id, slot)
+	if up == c.down {
+		c.down = !up
+		if c.sink != nil {
+			c.sink.Emit(trace.FaultEvent(slot, int(c.id), c.down))
+		}
+	}
+	if !up {
 		c.downed++
 		return sim.Idle()
 	}

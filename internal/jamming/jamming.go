@@ -22,6 +22,7 @@ import (
 
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/trace"
 )
 
 // Jammer is an n-uniform jamming adversary: per slot it decides, for each
@@ -49,6 +50,7 @@ type Assignment struct {
 
 	cachedSlot int
 	cached     [][]int
+	sink       trace.Sink
 }
 
 var _ sim.Assignment = (*Assignment)(nil)
@@ -97,7 +99,14 @@ func (a *Assignment) ChannelSet(node sim.NodeID, slot int) []int {
 	return a.cached[node]
 }
 
+// SetTrace attaches (or, with nil, detaches) a sink receiving one
+// trace.KindJam event per slot summarizing the adversary's injections.
+// Call it before the run starts; the assignment emits for every slot it
+// materializes while a sink is attached.
+func (a *Assignment) SetTrace(sink trace.Sink) { a.sink = sink }
+
 func (a *Assignment) fill(slot int) {
+	jammedTotal := 0
 	for u := 0; u < a.n; u++ {
 		jammed := a.jammer.Jammed(slot, sim.NodeID(u))
 		if len(jammed) > a.kJam {
@@ -111,6 +120,7 @@ func (a *Assignment) fill(slot int) {
 				blocked[ch] = true
 			}
 		}
+		jammedTotal += len(blocked)
 		set := a.cached[u][:0]
 		for ch := 0; ch < a.c; ch++ {
 			if !blocked[ch] {
@@ -122,6 +132,9 @@ func (a *Assignment) fill(slot int) {
 		a.cached[u] = set
 	}
 	a.cachedSlot = slot
+	if a.sink != nil {
+		a.sink.Emit(trace.JamEvent(slot, jammedTotal, a.kJam))
+	}
 }
 
 // --- Adversary strategies --------------------------------------------------------

@@ -1,0 +1,55 @@
+// Package prof backs the CLIs' -cpuprofile and -memprofile flags with
+// runtime/pprof. It exists so cogsim and cogbench share one correct
+// start/stop sequence (stop the CPU profile before writing the heap
+// profile, garbage-collect first so the heap profile reflects live
+// objects) instead of each carrying its own copy.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile
+// into memPath; either path may be empty to skip that profile. The
+// returned stop function — safe to call exactly once, typically
+// deferred — ends the CPU profile and writes the heap profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		return nil
+	}, nil
+}

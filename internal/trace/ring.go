@@ -1,0 +1,55 @@
+package trace
+
+// Ring is a fixed-capacity in-memory sink that keeps the most recent
+// events, overwriting the oldest once full — a flight recorder that can
+// stay attached to hot loops: Emit never allocates after construction
+// (pinned by TestTraceRingAllocFree), so "always-on tracing into a ring,
+// dump on failure" costs no per-slot garbage.
+type Ring struct {
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+var _ Sink = (*Ring)(nil)
+
+// NewRing returns a ring holding the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever emitted, including overwritten
+// ones.
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/cogradio/crn/internal/metrics"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Summary is the fold of one trace file back into aggregate numbers.
+type Summary struct {
+	// Meta is the trace header.
+	Meta Meta
+	// Metrics is the medium summary replayed from the trace's channel and
+	// slot events through a real metrics.Collector — byte-identical to
+	// what a live collector on the same run reports, which is the
+	// consistency check cogsim -trace-summary performs.
+	Metrics metrics.Metrics
+	// Events counts every event by kind.
+	Events map[Kind]int
+	// FinalInformed and TotalNodes carry the last KindProgress event
+	// (-1/-1 when the trace has none).
+	FinalInformed, TotalNodes int
+	// Phases lists the KindPhase events in order.
+	Phases []Event
+}
+
+// Summarize reads a JSONL trace and folds it into a Summary. The medium
+// metrics are recomputed by replaying the per-channel outcomes into a
+// metrics.Collector: KindChannel events accumulate per slot and each
+// KindSlot marker closes the slot, mirroring the live observer cadence.
+func Summarize(r io.Reader) (*Summary, error) {
+	meta, events, err := ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		Meta:          meta,
+		Events:        make(map[Kind]int),
+		FinalInformed: -1,
+		TotalNodes:    -1,
+	}
+	var col metrics.Collector
+	var pending []sim.ChannelOutcome
+	// The collector only reads slice lengths; one shared backing array
+	// sized to the largest count observed stands in for the node lists.
+	var nodes []sim.NodeID
+	grow := func(n int) []sim.NodeID {
+		for len(nodes) < n {
+			nodes = append(nodes, sim.None)
+		}
+		return nodes[:n]
+	}
+	for _, ev := range events {
+		s.Events[ev.Kind]++
+		switch ev.Kind {
+		case KindChannel:
+			pending = append(pending, sim.ChannelOutcome{
+				Channel:      ev.Channel,
+				Winner:       sim.NodeID(ev.Peer),
+				Broadcasters: grow(int(ev.A)),
+				Listeners:    grow(int(ev.B)),
+			})
+		case KindSlot:
+			if int64(len(pending)) != ev.A {
+				return nil, fmt.Errorf("trace: slot %d marker claims %d active channels, stream carries %d",
+					ev.Slot, ev.A, len(pending))
+			}
+			col.OnSlot(ev.Slot, pending)
+			pending = pending[:0]
+		case KindProgress:
+			s.FinalInformed = int(ev.A)
+			s.TotalNodes = int(ev.B)
+		case KindPhase:
+			s.Phases = append(s.Phases, ev)
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("trace: %d channel events after the last slot marker (truncated trace?)", len(pending))
+	}
+	s.Metrics = col.Snapshot()
+	return s, nil
+}

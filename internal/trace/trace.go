@@ -1,0 +1,186 @@
+// Package trace records structured, replayable event streams from
+// simulation runs: per-slot channel outcomes from the engine (via the
+// sim.Observer hook) plus protocol-level events — COGCAST epidemic
+// progress, COGCOMP phase transitions and cluster census, fault and
+// jamming injections, experiment trial boundaries.
+//
+// Events flow into a Sink. Two sinks are provided: JSONL streams the
+// documented on-disk format (see TRACE.md for the schema and its
+// versioning rule), and Ring keeps the last N events in a preallocated
+// in-memory buffer with zero per-event allocation, for always-on flight
+// recording inside hot loops.
+//
+// Tracing is strictly opt-in and zero-cost when disabled: every producer
+// holds a Sink interface value and emits nothing when it is nil, so the
+// untraced slot path is byte-for-byte the PR-1 zero-allocation engine
+// loop (pinned by TestTraceDisabledAllocFree). Attaching a sink never
+// changes simulation results either — the engine draws randomness only
+// when resolving contended channels, which observers do not affect.
+package trace
+
+// Kind classifies a trace event. The JSONL encoding of each kind is
+// documented in TRACE.md; the String method returns the on-disk "k" tag.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSlot marks the end of one engine slot; A is the number of
+	// physical channels that saw any activity.
+	KindSlot Kind = iota + 1
+	// KindChannel reports one physical channel's outcome in one slot:
+	// A broadcasters, B listeners, Peer the winning broadcaster (or -1).
+	KindChannel
+	// KindProgress reports COGCAST epidemic progress: A nodes informed of
+	// B total, after the event's slot (slot -1 is the initial state).
+	KindProgress
+	// KindInformed reports that Node was first informed by Peer on local
+	// channel Channel during the event's slot.
+	KindInformed
+	// KindPhase marks a COGCOMP phase transition: phase A (1-4) starts at
+	// the event's slot and nominally lasts B slots (0 = run-to-completion).
+	KindPhase
+	// KindCensus summarizes COGCOMP's tree census at termination: A nodes
+	// informed (cluster members), B mediators elected.
+	KindCensus
+	// KindFault reports a fault-schedule transition for Node: A is 1 when
+	// the node goes down, 0 when it comes back up.
+	KindFault
+	// KindJam reports jamming injected in one slot: A channel-slots jammed
+	// across all nodes, B the adversary's per-node budget.
+	KindJam
+	// KindTrial marks the start of an experiment repetition: trial index A
+	// running with derived seed B.
+	KindTrial
+)
+
+// String returns the kind's on-disk tag.
+func (k Kind) String() string {
+	switch k {
+	case KindSlot:
+		return "slot"
+	case KindChannel:
+		return "chan"
+	case KindProgress:
+		return "progress"
+	case KindInformed:
+		return "informed"
+	case KindPhase:
+		return "phase"
+	case KindCensus:
+		return "census"
+	case KindFault:
+		return "fault"
+	case KindJam:
+		return "jam"
+	case KindTrial:
+		return "trial"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one trace record. It is a fixed-size value type so sinks can
+// store and pass it without allocating. Which fields are meaningful, and
+// what A and B carry, depends on Kind (see the Kind constants and
+// TRACE.md); unused reference fields hold -1. Use the constructor
+// functions rather than struct literals so defaults stay consistent with
+// the on-disk schema.
+type Event struct {
+	Kind Kind
+	// Slot is the slot index the event belongs to, or -1 for events that
+	// are not slot-scoped (trial boundaries, initial progress).
+	Slot int
+	// Channel is a channel index: physical for KindChannel, the informed
+	// node's local index for KindInformed, -1 otherwise.
+	Channel int
+	// Node is the subject node, or -1.
+	Node int
+	// Peer is the secondary node (channel winner, informing parent), or -1.
+	Peer int
+	// A and B are kind-specific scalars.
+	A, B int64
+}
+
+// Sink consumes trace events. Emit is called from the simulation's hot
+// path; implementations must not retain references into anything beyond
+// the value they are handed (Event is self-contained) and must be fast.
+// Producers treat a nil Sink as "tracing disabled" and skip emission
+// entirely, so the disabled path costs one nil check.
+//
+// Sinks are not required to be safe for concurrent use; runs that trace
+// must serialize emission (the experiment harness forces serial trials
+// when a sink is attached).
+type Sink interface {
+	Emit(Event)
+}
+
+// SlotEvent returns a KindSlot marker for the given slot with the number
+// of active channels.
+func SlotEvent(slot, active int) Event {
+	return Event{Kind: KindSlot, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(active)}
+}
+
+// ChannelEvent returns a KindChannel outcome: broadcasters b and
+// listeners l on physical channel ch, won by winner (-1 for none).
+func ChannelEvent(slot, ch, winner, b, l int) Event {
+	return Event{Kind: KindChannel, Slot: slot, Channel: ch, Node: -1, Peer: winner, A: int64(b), B: int64(l)}
+}
+
+// ProgressEvent returns a KindProgress record: informed of n nodes hold
+// the message after the slot (-1 = before the first slot).
+func ProgressEvent(slot, informed, n int) Event {
+	return Event{Kind: KindProgress, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(informed), B: int64(n)}
+}
+
+// InformedEvent returns a KindInformed record: node was first informed by
+// parent on its local channel ch during slot.
+func InformedEvent(slot, node, parent, ch int) Event {
+	return Event{Kind: KindInformed, Slot: slot, Channel: ch, Node: node, Peer: parent}
+}
+
+// PhaseEvent returns a KindPhase record: phase (1-4) starts at slot with
+// nominal length slots (0 = run to completion).
+func PhaseEvent(slot, phase, length int) Event {
+	return Event{Kind: KindPhase, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(phase), B: int64(length)}
+}
+
+// CensusEvent returns a KindCensus record emitted at COGCOMP termination.
+func CensusEvent(slot, informed, mediators int) Event {
+	return Event{Kind: KindCensus, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(informed), B: int64(mediators)}
+}
+
+// FaultEvent returns a KindFault record: node transitions to down (or
+// back up) at slot.
+func FaultEvent(slot, node int, down bool) Event {
+	ev := Event{Kind: KindFault, Slot: slot, Channel: -1, Node: node, Peer: -1}
+	if down {
+		ev.A = 1
+	}
+	return ev
+}
+
+// JamEvent returns a KindJam record: jammed channel-slots injected across
+// all nodes in slot, under a per-node budget.
+func JamEvent(slot, jammed, budget int) Event {
+	return Event{Kind: KindJam, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(jammed), B: int64(budget)}
+}
+
+// TrialEvent returns a KindTrial boundary: repetition trial starts,
+// seeded with seed.
+func TrialEvent(trial int, seed int64) Event {
+	return Event{Kind: KindTrial, Slot: -1, Channel: -1, Node: -1, Peer: -1, A: int64(trial), B: seed}
+}
+
+// Meta describes the run a trace was recorded from; it becomes the JSONL
+// header line. Fields that do not apply (e.g. network parameters for a
+// whole-suite cogbench trace) are zero.
+type Meta struct {
+	// Protocol names the producer: "cogcast", "cogcomp", "exper", ...
+	Protocol string
+	// Nodes, PerNode, MinOverlap, Channels are the network's n, c, k, C.
+	Nodes, PerNode, MinOverlap, Channels int
+	// Seed is the run's root seed.
+	Seed int64
+	// Collisions is the engine collision model's name.
+	Collisions string
+}

@@ -1,0 +1,229 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cogradio/crn/internal/trace"
+)
+
+// allKinds is one event of every kind, with distinct values in every
+// meaningful field so encode/decode mix-ups surface.
+func allKinds() []trace.Event {
+	return []trace.Event{
+		trace.TrialEvent(3, -77),
+		trace.ProgressEvent(-1, 1, 24),
+		trace.ChannelEvent(0, 5, 9, 2, 4),
+		trace.ChannelEvent(0, 7, -1, 0, 3),
+		trace.SlotEvent(0, 2),
+		trace.InformedEvent(0, 11, 9, 1),
+		trace.PhaseEvent(12, 2, 30),
+		trace.CensusEvent(40, 24, 5),
+		trace.FaultEvent(17, 4, true),
+		trace.FaultEvent(29, 4, false),
+		trace.JamEvent(8, 36, 3),
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	meta := trace.Meta{
+		Protocol: "cogcast", Nodes: 24, PerNode: 6, MinOverlap: 2,
+		Channels: 18, Seed: -9, Collisions: "uniform-winner",
+	}
+	var buf bytes.Buffer
+	sink := trace.NewJSONL(&buf)
+	sink.SetMeta(meta)
+	want := allKinds()
+	for _, ev := range want {
+		sink.Emit(ev)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotMeta, got, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d (%s): got %+v, want %+v", i, want[i].Kind, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLHeaderWithoutMeta(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewJSONL(&buf)
+	sink.Emit(trace.SlotEvent(0, 0))
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	meta, events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (meta != trace.Meta{}) || len(events) != 1 {
+		t.Errorf("got meta %+v and %d events, want zero meta and 1 event", meta, len(events))
+	}
+}
+
+func TestJSONLInvalidKind(t *testing.T) {
+	sink := trace.NewJSONL(&bytes.Buffer{})
+	sink.Emit(trace.Event{Kind: trace.Kind(99)})
+	if sink.Err() == nil {
+		t.Error("encoding an invalid kind did not stick an error")
+	}
+}
+
+type failWriter struct{ failed bool }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.failed = true
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestJSONLStickyError(t *testing.T) {
+	w := &failWriter{}
+	sink := trace.NewJSONL(w)
+	sink.Emit(trace.SlotEvent(0, 0))
+	if sink.Err() == nil {
+		t.Fatal("write failure not reported")
+	}
+	w.failed = false
+	sink.Emit(trace.SlotEvent(1, 0))
+	if w.failed {
+		t.Error("emission after a sticky error still wrote")
+	}
+}
+
+func TestReadAllRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty input":    "",
+		"foreign header": `{"schema":"something-else","version":1}` + "\n",
+		"missing header": `{"k":"slot","t":0,"act":0}` + "\n",
+		"future version": `{"schema":"crn-trace","version":99}` + "\n",
+		"unknown kind":   "{\"schema\":\"crn-trace\",\"version\":1}\n{\"k\":\"warp\"}\n",
+		"malformed json": "{\"schema\":\"crn-trace\",\"version\":1}\n{oops\n",
+	}
+	for name, input := range cases {
+		if _, _, err := trace.ReadAll(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadAll accepted %q", name, input)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := trace.NewRing(3)
+	for slot := 0; slot < 5; slot++ {
+		r.Emit(trace.SlotEvent(slot, 0))
+	}
+	if r.Total() != 5 || r.Len() != 3 {
+		t.Fatalf("Total=%d Len=%d, want 5 and 3", r.Total(), r.Len())
+	}
+	events := r.Events()
+	for i, ev := range events {
+		if ev.Slot != i+2 {
+			t.Errorf("event %d has slot %d, want %d (oldest-first after wrap)", i, ev.Slot, i+2)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := trace.NewRing(8)
+	r.Emit(trace.SlotEvent(0, 1))
+	r.Emit(trace.SlotEvent(1, 2))
+	if r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("Len=%d Total=%d, want 2 and 2", r.Len(), r.Total())
+	}
+	events := r.Events()
+	if len(events) != 2 || events[0].Slot != 0 || events[1].Slot != 1 {
+		t.Errorf("Events() = %+v, want slots 0,1", events)
+	}
+}
+
+func TestRingEmitDoesNotAllocate(t *testing.T) {
+	r := trace.NewRing(16)
+	ev := trace.ChannelEvent(1, 2, 3, 4, 5)
+	allocs := testing.AllocsPerRun(100, func() { r.Emit(ev) })
+	if allocs != 0 {
+		t.Errorf("Ring.Emit allocates %.2f objects/event, want 0", allocs)
+	}
+}
+
+func TestSummarizeReplaysCollector(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewJSONL(&buf)
+	sink.SetMeta(trace.Meta{Protocol: "cogcast", Nodes: 4})
+	// Slot 0: one clean delivery, one collision. Slot 1: silence.
+	sink.Emit(trace.ChannelEvent(0, 0, 2, 1, 3))
+	sink.Emit(trace.ChannelEvent(0, 1, 3, 2, 1))
+	sink.Emit(trace.SlotEvent(0, 2))
+	sink.Emit(trace.SlotEvent(1, 0))
+	sink.Emit(trace.ProgressEvent(1, 4, 4))
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := trace.Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics
+	if m.Slots != 2 || m.BusyChannelsPerSlot != 1 || m.CollisionRate != 0.5 || m.DeliveryRate != 1 {
+		t.Errorf("replayed metrics = %+v", m)
+	}
+	if s.FinalInformed != 4 || s.TotalNodes != 4 {
+		t.Errorf("progress fold = %d/%d, want 4/4", s.FinalInformed, s.TotalNodes)
+	}
+	if s.Events[trace.KindChannel] != 2 || s.Events[trace.KindSlot] != 2 {
+		t.Errorf("event counts = %v", s.Events)
+	}
+}
+
+func TestSummarizeRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewJSONL(&buf)
+	sink.SetMeta(trace.Meta{})
+	sink.Emit(trace.ChannelEvent(0, 0, -1, 0, 1))
+	if _, err := trace.Summarize(&buf); err == nil {
+		t.Error("trailing channel events accepted")
+	}
+
+	buf.Reset()
+	sink = trace.NewJSONL(&buf)
+	sink.SetMeta(trace.Meta{})
+	sink.Emit(trace.ChannelEvent(0, 0, -1, 0, 1))
+	sink.Emit(trace.SlotEvent(0, 2)) // claims 2 active channels, stream has 1
+	if _, err := trace.Summarize(&buf); err == nil {
+		t.Error("slot marker/stream mismatch accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[trace.Kind]string{
+		trace.KindSlot: "slot", trace.KindChannel: "chan",
+		trace.KindProgress: "progress", trace.KindInformed: "informed",
+		trace.KindPhase: "phase", trace.KindCensus: "census",
+		trace.KindFault: "fault", trace.KindJam: "jam",
+		trace.KindTrial: "trial", trace.Kind(0): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
