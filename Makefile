@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-engine baseline clean
+.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick clean
 
 all: check
 
@@ -43,9 +43,15 @@ bench:
 bench-engine:
 	$(GO) test -bench='BenchmarkEngineSlot' -benchmem -run NONE .
 
-# Regenerate the machine-readable experiment timing baseline.
+# Regenerate the machine-readable experiment timing baselines. Serial trials
+# (-parallel 1) make the allocation counts reproducible: one worker, one
+# arena. BENCH_quick_baseline.json is the committed reference CI's smoke-bench
+# job compares fresh quick runs against.
 baseline:
-	$(GO) run ./cmd/cogbench -bench-out BENCH_baseline.json > /dev/null
+	$(GO) run ./cmd/cogbench -parallel 1 -bench-out BENCH_baseline.json > /dev/null
+
+baseline-quick:
+	$(GO) run ./cmd/cogbench -quick -parallel 1 -bench-out BENCH_quick_baseline.json > /dev/null
 
 clean:
 	$(GO) clean ./...

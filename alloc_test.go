@@ -68,6 +68,40 @@ func TestRunSlotObservedAllocBound(t *testing.T) {
 	}
 }
 
+// TestArenaTrialAllocBound pins the setup path's reuse contract end to end:
+// one warm (builder, arena) pair running complete COGCAST trials — regenerate
+// a SharedCore assignment into the builder's backing, reset the engine,
+// reinitialize every node, run to completion — must stay within a small
+// constant number of allocations per trial (the Result struct and its two
+// per-node slices, plus engine-option boxing), independent of slot count and
+// network size. Before the flat/reuse rework this figure was in the tens of
+// thousands; a regression toward per-trial rebuilding fails loudly.
+func TestArenaTrialAllocBound(t *testing.T) {
+	var b assign.Builder
+	var arena cogcast.Arena
+	const n, c, k, total = 64, 8, 2, 24
+	trial := 0
+	runTrial := func() {
+		trial++
+		asn, err := b.SharedCore(n, c, k, total, assign.LocalLabels, int64(trial%7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arena.Run(asn, 0, "m", int64(trial%7), cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllInformed {
+			t.Fatal("trial incomplete")
+		}
+	}
+	runTrial() // warm the builder, nodes, and engine scratch
+	allocs := testing.AllocsPerRun(20, runTrial)
+	if allocs > 8 {
+		t.Errorf("warm arena COGCAST trial allocates %.1f objects, want <= 8", allocs)
+	}
+}
+
 // TestTraceDisabledAllocFree pins the observability layer's zero-cost
 // contract: with tracing disabled (no sink attached anywhere), the
 // steady-state slot path must remain exactly the zero-allocation loop of

@@ -9,6 +9,7 @@
 //	cogbench -format markdown     # Markdown output (EXPERIMENTS.md source)
 //	cogbench -parallel 8          # 8 trial workers; tables are identical
 //	cogbench -bench-out BENCH_baseline.json   # machine-readable timings
+//	cogbench -compare old.json new.json       # per-experiment benchmark delta
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -59,6 +61,11 @@ type benchReport struct {
 	TotalWallMS float64       `json:"total_wall_ms"`
 }
 
+// round3 rounds wall-clock milliseconds to microsecond precision so the JSON
+// fields read as clean decimals instead of accumulated float artifacts
+// (9268.425, not 9268.425000000001).
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("cogbench", flag.ContinueOnError)
 	var (
@@ -70,12 +77,19 @@ func run(args []string, out io.Writer) (retErr error) {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
 		benchOut = fs.String("bench-out", "", "write a machine-readable JSON benchmark report (wall-clock, slots, allocs per experiment) to this file")
+		compare  = fs.Bool("compare", false, "compare two -bench-out reports (old.json new.json as positional args), print the per-experiment delta table, and exit non-zero on regression")
+		wallLmt  = fs.Float64("wall-limit", 2.0, "with -compare: fail if total wall-clock exceeds this multiple of the old report's (<= 0 disables; wall is machine-dependent)")
+		allocLmt = fs.Float64("alloc-limit", 1.25, "with -compare: fail if any experiment's allocations exceed this multiple of the old report's (<= 0 disables)")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the traced experiments to this file (forces serial trials; schema in TRACE.md)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare {
+		return runCompare(fs.Args(), out, *wallLmt, *allocLmt)
 	}
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -161,7 +175,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			runtime.ReadMemStats(&mem1)
 			report.Experiments = append(report.Experiments, benchRecord{
 				ID:     e.ID,
-				WallMS: float64(time.Since(start).Microseconds()) / 1000,
+				WallMS: round3(float64(time.Since(start).Microseconds()) / 1000),
 				Slots:  sim.SlotsExecuted() - slots0,
 				Allocs: mem1.Mallocs - mem0.Mallocs,
 				Bytes:  mem1.TotalAlloc - mem0.TotalAlloc,
@@ -192,6 +206,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		for _, r := range report.Experiments {
 			report.TotalWallMS += r.WallMS
 		}
+		report.TotalWallMS = round3(report.TotalWallMS)
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -201,6 +216,109 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		fmt.Fprintf(out, "benchmark report: %s (%d experiments, %.0f ms total)\n",
 			*benchOut, len(report.Experiments), report.TotalWallMS)
+	}
+	return nil
+}
+
+func readReport(path string) (*benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ratioCell formats new/old as a multiplier for the comparison table.
+func ratioCell(newV, oldV float64) string {
+	if oldV == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", newV/oldV)
+}
+
+// runCompare renders the per-experiment delta between two -bench-out reports
+// and returns an error (non-zero exit) when the new report regresses past the
+// limits: any experiment's allocation count beyond allocLimit times the old
+// one, or total wall-clock beyond wallLimit times the old one. Limits <= 0
+// disable the respective check — wall-clock is only comparable between runs
+// on the same machine, so CI compares allocations alone. Experiments present
+// in only one report are listed but never fail the comparison.
+func runCompare(paths []string, out io.Writer, wallLimit, allocLimit float64) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two report files: old.json new.json")
+	}
+	oldR, err := readReport(paths[0])
+	if err != nil {
+		return err
+	}
+	newR, err := readReport(paths[1])
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchRecord, len(oldR.Experiments))
+	for _, r := range oldR.Experiments {
+		oldBy[r.ID] = r
+	}
+	t := &exper.Table{
+		Title:   fmt.Sprintf("benchmark comparison: %s -> %s", paths[0], paths[1]),
+		Columns: []string{"experiment", "wall ms old", "wall ms new", "wall", "allocs old", "allocs new", "allocs", "bytes old", "bytes new", "bytes"},
+	}
+	var regressions []string
+	var oldAllocs, newAllocs, oldBytes, newBytes uint64
+	for _, n := range newR.Experiments {
+		o, ok := oldBy[n.ID]
+		if !ok {
+			t.AddRow(n.ID, "-", fmt.Sprintf("%.1f", n.WallMS), "new",
+				"-", fmt.Sprintf("%d", n.Allocs), "new", "-", fmt.Sprintf("%d", n.Bytes), "new")
+			continue
+		}
+		delete(oldBy, n.ID)
+		oldAllocs += o.Allocs
+		newAllocs += n.Allocs
+		oldBytes += o.Bytes
+		newBytes += n.Bytes
+		t.AddRow(n.ID,
+			fmt.Sprintf("%.1f", o.WallMS), fmt.Sprintf("%.1f", n.WallMS), ratioCell(n.WallMS, o.WallMS),
+			fmt.Sprintf("%d", o.Allocs), fmt.Sprintf("%d", n.Allocs), ratioCell(float64(n.Allocs), float64(o.Allocs)),
+			fmt.Sprintf("%d", o.Bytes), fmt.Sprintf("%d", n.Bytes), ratioCell(float64(n.Bytes), float64(o.Bytes)))
+		if allocLimit > 0 && o.Allocs > 0 && float64(n.Allocs) > allocLimit*float64(o.Allocs) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s allocs %.2fx old (limit %.2fx)", n.ID, float64(n.Allocs)/float64(o.Allocs), allocLimit))
+		}
+	}
+	for _, o := range oldR.Experiments {
+		if _, removed := oldBy[o.ID]; removed {
+			t.AddRow(o.ID, fmt.Sprintf("%.1f", o.WallMS), "-", "removed",
+				fmt.Sprintf("%d", o.Allocs), "-", "removed", fmt.Sprintf("%d", o.Bytes), "-", "removed")
+		}
+	}
+	t.AddRow("total",
+		fmt.Sprintf("%.1f", oldR.TotalWallMS), fmt.Sprintf("%.1f", newR.TotalWallMS), ratioCell(newR.TotalWallMS, oldR.TotalWallMS),
+		fmt.Sprintf("%d", oldAllocs), fmt.Sprintf("%d", newAllocs), ratioCell(float64(newAllocs), float64(oldAllocs)),
+		fmt.Sprintf("%d", oldBytes), fmt.Sprintf("%d", newBytes), ratioCell(float64(newBytes), float64(oldBytes)))
+	if wallLimit > 0 && oldR.TotalWallMS > 0 && newR.TotalWallMS > wallLimit*oldR.TotalWallMS {
+		regressions = append(regressions,
+			fmt.Sprintf("total wall %.2fx old (limit %.2fx)", newR.TotalWallMS/oldR.TotalWallMS, wallLimit))
+	}
+	switch {
+	case wallLimit > 0 && allocLimit > 0:
+		t.AddNote("regression limits: per-experiment allocs %.2fx, total wall %.2fx", allocLimit, wallLimit)
+	case allocLimit > 0:
+		t.AddNote("regression limits: per-experiment allocs %.2fx (wall check disabled)", allocLimit)
+	case wallLimit > 0:
+		t.AddNote("regression limits: total wall %.2fx (alloc check disabled)", wallLimit)
+	default:
+		t.AddNote("regression checks disabled")
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression: %s", strings.Join(regressions, "; "))
 	}
 	return nil
 }

@@ -117,6 +117,89 @@ func TestBenchOut(t *testing.T) {
 	}
 }
 
+func writeReport(t *testing.T, name string, r benchReport) string {
+	t.Helper()
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	oldPath := writeReport(t, "old.json", benchReport{
+		TotalWallMS: 1000,
+		Experiments: []benchRecord{
+			{ID: "E1", WallMS: 600, Allocs: 1000, Bytes: 4000},
+			{ID: "E2", WallMS: 400, Allocs: 2000, Bytes: 8000},
+			{ID: "E9", WallMS: 50, Allocs: 10, Bytes: 100},
+		},
+	})
+	newPath := writeReport(t, "new.json", benchReport{
+		TotalWallMS: 900,
+		Experiments: []benchRecord{
+			{ID: "E1", WallMS: 500, Allocs: 250, Bytes: 1000},
+			{ID: "E2", WallMS: 400, Allocs: 2100, Bytes: 8000},
+			{ID: "E3", WallMS: 10, Allocs: 5, Bytes: 50},
+		},
+	})
+
+	// Within limits: an improvement, a 1.05x wobble, one added and one
+	// removed experiment (informational, never failures).
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("compare within limits failed: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"0.25x", "new", "removed", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, s)
+		}
+	}
+
+	// Reversed, the 4x alloc growth on E1 must fail the default 1.25x limit.
+	out.Reset()
+	err := run([]string{"-compare", newPath, oldPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "E1 allocs") {
+		t.Errorf("reversed compare: want E1 alloc regression, got %v", err)
+	}
+
+	// Disabling the alloc check clears it (wall improved, so no wall failure).
+	out.Reset()
+	if err := run([]string{"-compare", "-alloc-limit", "0", "-wall-limit", "2", newPath, oldPath}, &out); err != nil {
+		t.Errorf("compare with alloc check disabled failed: %v", err)
+	}
+
+	// Wall regression: same allocs, total wall beyond the limit.
+	slowPath := writeReport(t, "slow.json", benchReport{
+		TotalWallMS: 5000,
+		Experiments: []benchRecord{{ID: "E1", WallMS: 5000, Allocs: 1000, Bytes: 4000}},
+	})
+	basePath := writeReport(t, "base.json", benchReport{
+		TotalWallMS: 1000,
+		Experiments: []benchRecord{{ID: "E1", WallMS: 1000, Allocs: 1000, Bytes: 4000}},
+	})
+	out.Reset()
+	err = run([]string{"-compare", basePath, slowPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "total wall") {
+		t.Errorf("want total wall regression, got %v", err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "one.json"}, &out); err == nil {
+		t.Error("compare with one file accepted")
+	}
+	if err := run([]string{"-compare", "/nonexistent/a.json", "/nonexistent/b.json"}, &out); err == nil {
+		t.Error("compare with missing files accepted")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-exp", "E99"}, &out); err == nil {

@@ -3,7 +3,6 @@ package assign
 import (
 	"fmt"
 
-	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
 )
 
@@ -13,32 +12,7 @@ import (
 // channels simultaneously with another node, no information can flow — the
 // situation the bipartite hitting game models. C = 2c − k.
 func TwoSet(n, c, k int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, k, model); err != nil {
-		return nil, err
-	}
-	if n < 2 {
-		return nil, fmt.Errorf("assign: two-set network needs n >= 2, got %d", n)
-	}
-	total := 2*c - k
-	perm := randomPerm(total, rng.New(seed, 0x25e7))
-	shared := perm[:k]
-	aPriv := perm[k:c]
-	bPriv := perm[c:]
-	sets := make([][]int, n)
-	src := make([]int, 0, c)
-	src = append(src, shared...)
-	src = append(src, aPriv...)
-	sets[0] = src
-	for u := 1; u < n; u++ {
-		set := make([]int, 0, c)
-		set = append(set, shared...)
-		set = append(set, bPriv...)
-		sets[u] = set
-	}
-	if err := applyLabels(sets, model, seed); err != nil {
-		return nil, err
-	}
-	return &Static{channels: total, perNode: c, minOverlap: k, sets: sets}, nil
+	return new(Builder).TwoSet(n, c, k, model, seed)
 }
 
 // AntiScan is the Theorem 17 adversary: a dynamic assignment that defeats
@@ -56,6 +30,7 @@ func TwoSet(n, c, k int, model LabelModel, seed int64) (*Static, error) {
 type AntiScan struct {
 	n, c, k int
 	sets    [][]int // node -> channel set; source's order is per-slot
+	shared  map[int]bool
 	predict func(slot int) int
 	srcBuf  []int
 	slot    int
@@ -85,11 +60,18 @@ func NewAntiScan(n, c, k int, predict func(slot int) int, seed int64) (*AntiScan
 	if predict == nil {
 		predict = func(slot int) int { return slot % c }
 	}
+	// Channels shared with node 1 never change; computing the membership set
+	// once keeps the per-slot arrange() allocation-free.
+	shared := make(map[int]bool, c)
+	for _, ch := range sets[1%n] {
+		shared[ch] = true
+	}
 	a := &AntiScan{
 		n:       n,
 		c:       c,
 		k:       k,
 		sets:    sets,
+		shared:  shared,
 		predict: predict,
 		srcBuf:  make([]int, c),
 		slot:    -1,
@@ -134,10 +116,7 @@ func (a *AntiScan) arrange(slot int) {
 	// Identify one private channel (any channel not shared with node 1 —
 	// with the partitioned construction, private channels of the source are
 	// shared with nobody).
-	shared := make(map[int]bool, a.c)
-	for _, ch := range a.sets[1%a.n] {
-		shared[ch] = true
-	}
+	shared := a.shared
 	out := a.srcBuf[:0]
 	privIdx := -1
 	for _, ch := range a.sets[0] {

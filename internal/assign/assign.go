@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
 )
 
@@ -52,10 +51,15 @@ func (m LabelModel) String() string {
 }
 
 // Static is an immutable channel assignment. It implements sim.Assignment.
+//
+// Sets live in one flat backing array of n·c ints with sets[u] a subslice,
+// so an assignment is two allocations regardless of n — and a Builder can
+// regenerate one into the same backing across trials.
 type Static struct {
 	channels   int // C
 	perNode    int // c
 	minOverlap int // k, as guaranteed by construction
+	backing    []int
 	sets       [][]int
 }
 
@@ -146,26 +150,6 @@ func (s *Static) Overlap(u, v sim.NodeID) int {
 		}
 	}
 	return n
-}
-
-// applyLabels orders each node's set according to the label model. Sets
-// arrive from generators in construction order; GlobalLabels sorts them by
-// physical index, LocalLabels shuffles each with a node-specific stream.
-func applyLabels(sets [][]int, model LabelModel, seed int64) error {
-	switch model {
-	case GlobalLabels:
-		for _, set := range sets {
-			insertionSort(set)
-		}
-	case LocalLabels:
-		for u, set := range sets {
-			r := rng.New(seed, int64(u), 0x1ab)
-			r.Shuffle(len(set), func(i, j int) { set[i], set[j] = set[j], set[i] })
-		}
-	default:
-		return fmt.Errorf("assign: invalid label model %d", model)
-	}
-	return nil
 }
 
 func insertionSort(a []int) {

@@ -1,0 +1,141 @@
+package assign
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// builderCases enumerates one build of every generator, exercising both
+// label models.
+var builderCases = []struct {
+	name  string
+	fresh func(seed int64) (*Static, error)
+	build func(b *Builder, seed int64) (*Static, error)
+}{
+	{
+		"full-overlap/global",
+		func(seed int64) (*Static, error) { return FullOverlap(8, 5, GlobalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.FullOverlap(8, 5, GlobalLabels, seed) },
+	},
+	{
+		"partitioned/local",
+		func(seed int64) (*Static, error) { return Partitioned(8, 6, 2, LocalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.Partitioned(8, 6, 2, LocalLabels, seed) },
+	},
+	{
+		"shared-core/local",
+		func(seed int64) (*Static, error) { return SharedCore(8, 6, 2, 24, LocalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.SharedCore(8, 6, 2, 24, LocalLabels, seed) },
+	},
+	{
+		"pairwise/global",
+		func(seed int64) (*Static, error) { return PairwiseDedicated(4, 7, 2, GlobalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.PairwiseDedicated(4, 7, 2, GlobalLabels, seed) },
+	},
+	{
+		"random-pool/local",
+		func(seed int64) (*Static, error) { return RandomPool(6, 8, 2, 16, LocalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.RandomPool(6, 8, 2, 16, LocalLabels, seed) },
+	},
+	{
+		"two-set/local",
+		func(seed int64) (*Static, error) { return TwoSet(8, 6, 2, LocalLabels, seed) },
+		func(b *Builder, seed int64) (*Static, error) { return b.TwoSet(8, 6, 2, LocalLabels, seed) },
+	},
+}
+
+func sameAssignment(t *testing.T, want, got *Static) {
+	t.Helper()
+	if want.Nodes() != got.Nodes() || want.Channels() != got.Channels() ||
+		want.PerNode() != got.PerNode() || want.MinOverlap() != got.MinOverlap() {
+		t.Fatalf("parameter mismatch: want (n=%d C=%d c=%d k=%d), got (n=%d C=%d c=%d k=%d)",
+			want.Nodes(), want.Channels(), want.PerNode(), want.MinOverlap(),
+			got.Nodes(), got.Channels(), got.PerNode(), got.MinOverlap())
+	}
+	for u := 0; u < want.Nodes(); u++ {
+		ws, gs := want.ChannelSet(sim.NodeID(u), 0), got.ChannelSet(sim.NodeID(u), 0)
+		if len(ws) != len(gs) {
+			t.Fatalf("node %d: set length %d != %d", u, len(gs), len(ws))
+		}
+		for i := range ws {
+			if ws[i] != gs[i] {
+				t.Fatalf("node %d index %d: %d != %d", u, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestBuilderMatchesFresh is the reuse-vs-fresh contract for assignments: a
+// warm Builder regenerating through many seeds (and across different
+// generators) must reproduce every fresh construction exactly, including
+// label order.
+func TestBuilderMatchesFresh(t *testing.T) {
+	b := new(Builder)
+	for round := 0; round < 3; round++ {
+		for _, tc := range builderCases {
+			seed := int64(41 + round)
+			want, err := tc.fresh(seed)
+			if err != nil {
+				t.Fatalf("%s fresh: %v", tc.name, err)
+			}
+			got, err := tc.build(b, seed)
+			if err != nil {
+				t.Fatalf("%s build: %v", tc.name, err)
+			}
+			sameAssignment(t, want, got)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s: built assignment invalid: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+// TestBuilderRegeneratesIntoBacking pins the memory contract from ISSUE 3: a
+// warm builder regenerating a same-shape assignment must not allocate, and
+// the flat Static it returns must keep aliasing the same backing array.
+func TestBuilderRegeneratesIntoBacking(t *testing.T) {
+	b := new(Builder)
+	warm, err := b.Partitioned(16, 8, 2, LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBacking := &warm.backing[0]
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := b.Partitioned(16, 8, 2, LocalLabels, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Partitioned rebuild allocated %.1f times per run, want 0", allocs)
+	}
+	again, err := b.Partitioned(16, 8, 2, LocalLabels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again.backing[0] != firstBacking {
+		t.Error("regeneration replaced the backing array instead of reusing it")
+	}
+	if &again.sets[3][0] != &again.backing[3*8] {
+		t.Error("sets are not subslices of the flat backing array")
+	}
+}
+
+// TestStaticFlatLayout verifies the flat invariant on a fresh assignment
+// too: node u's set occupies backing[u*c : u*c+c].
+func TestStaticFlatLayout(t *testing.T) {
+	s, err := SharedCore(10, 6, 2, 20, GlobalLabels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.PerNode()
+	if len(s.backing) != s.Nodes()*c {
+		t.Fatalf("backing length %d, want n*c = %d", len(s.backing), s.Nodes()*c)
+	}
+	for u := 0; u < s.Nodes(); u++ {
+		set := s.ChannelSet(sim.NodeID(u), 0)
+		if &set[0] != &s.backing[u*c] {
+			t.Fatalf("node %d set does not alias backing at offset %d", u, u*c)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
@@ -25,6 +26,8 @@ type Dynamic struct {
 
 	cachedSlot int
 	cached     [][]int
+	r          *rand.Rand // re-seeded per (slot, node); see fill
+	permBuf    []int
 }
 
 var _ sim.Assignment = (*Dynamic)(nil)
@@ -82,12 +85,20 @@ func (d *Dynamic) ChannelSet(node sim.NodeID, slot int) []int {
 func (d *Dynamic) fill(slot int) {
 	c, k := d.perNode, d.minOverlap
 	for u := 0; u < d.n; u++ {
-		r := rng.New(d.seed, int64(slot), int64(u), 0xd1b)
+		// One reusable generator re-seeded to the (slot, node) stream draws
+		// exactly what a fresh rng.New did, without the per-slot source
+		// allocations that used to dominate dynamic-assignment runs.
+		if d.r == nil {
+			d.r = rng.New(d.seed, int64(slot), int64(u), 0xd1b)
+		} else {
+			rng.Reseed(d.r, d.seed, int64(slot), int64(u), 0xd1b)
+		}
+		r := d.r
 		set := d.cached[u][:0]
 		set = append(set, d.core...)
 		if c > k {
-			idx := r.Perm(len(d.pool))[:c-k]
-			for _, j := range idx {
+			d.permBuf = rng.PermInto(r, d.permBuf, len(d.pool))
+			for _, j := range d.permBuf[:c-k] {
 				set = append(set, d.pool[j])
 			}
 		}

@@ -1,30 +1,15 @@
 package assign
 
-import (
-	"fmt"
-
-	"github.com/cogradio/crn/internal/rng"
-)
+// The package-level generators are one-shot conveniences over Builder; each
+// draws exactly the same random stream as the corresponding Builder method,
+// so a cached Builder in a trial arena and a fresh call here produce
+// byte-identical assignments.
 
 // FullOverlap returns the assignment in which all n nodes share the same c
 // channels (so C = c and k = c). This is the classic multi-channel network
 // and the substrate for the jamming reduction of Theorem 18.
 func FullOverlap(n, c int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, c, model); err != nil {
-		return nil, err
-	}
-	sets := make([][]int, n)
-	for u := range sets {
-		set := make([]int, c)
-		for i := range set {
-			set[i] = i
-		}
-		sets[u] = set
-	}
-	if err := applyLabels(sets, model, seed); err != nil {
-		return nil, err
-	}
-	return &Static{channels: c, perNode: c, minOverlap: c, sets: sets}, nil
+	return new(Builder).FullOverlap(n, c, model, seed)
 }
 
 // Partitioned returns the construction used in the proof of Theorem 16:
@@ -34,25 +19,7 @@ func FullOverlap(n, c int, model LabelModel, seed int64) (*Static, error) {
 // identities are randomly permuted so that the shared core occupies no
 // recognizable positions.
 func Partitioned(n, c, k int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, k, model); err != nil {
-		return nil, err
-	}
-	total := k + n*(c-k)
-	perm := randomPerm(total, rng.New(seed, 0x9a27))
-	core := perm[:k]
-	sets := make([][]int, n)
-	next := k
-	for u := range sets {
-		set := make([]int, 0, c)
-		set = append(set, core...)
-		set = append(set, perm[next:next+(c-k)]...)
-		next += c - k
-		sets[u] = set
-	}
-	if err := applyLabels(sets, model, seed); err != nil {
-		return nil, err
-	}
-	return &Static{channels: total, perNode: c, minOverlap: k, sets: sets}, nil
+	return new(Builder).Partitioned(n, c, k, model, seed)
 }
 
 // SharedCore returns an assignment over C channels in which k randomly
@@ -62,27 +29,7 @@ func Partitioned(n, c, k int, model LabelModel, seed int64) (*Static, error) {
 // making it the "generic" topology for upper-bound experiments. Requires
 // C >= c.
 func SharedCore(n, c, k, totalChannels int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, k, model); err != nil {
-		return nil, err
-	}
-	if totalChannels < c {
-		return nil, fmt.Errorf("assign: C=%d must be at least c=%d", totalChannels, c)
-	}
-	perm := randomPerm(totalChannels, rng.New(seed, 0x5c0))
-	core := perm[:k]
-	pool := perm[k:]
-	sets := make([][]int, n)
-	for u := range sets {
-		r := rng.New(seed, int64(u), 0x5c1)
-		set := make([]int, 0, c)
-		set = append(set, core...)
-		set = append(set, sampleWithout(pool, c-k, r)...)
-		sets[u] = set
-	}
-	if err := applyLabels(sets, model, seed); err != nil {
-		return nil, err
-	}
-	return &Static{channels: totalChannels, perNode: c, minOverlap: k, sets: sets}, nil
+	return new(Builder).SharedCore(n, c, k, totalChannels, model, seed)
 }
 
 // PairwiseDedicated returns the other extreme the paper's Claim 2 analysis
@@ -91,39 +38,7 @@ func SharedCore(n, c, k, totalChannels int, model LabelModel, seed int64) (*Stat
 // concentrated. Each node holds k·(n−1) pair channels plus c − k·(n−1)
 // private ones; requires c >= k·(n−1).
 func PairwiseDedicated(n, c, k int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, k, model); err != nil {
-		return nil, err
-	}
-	if need := k * (n - 1); c < need {
-		return nil, fmt.Errorf("assign: pairwise-dedicated needs c >= k(n-1) = %d, got c=%d", need, c)
-	}
-	private := c - k*(n-1)
-	total := k*n*(n-1)/2 + n*private
-	perm := randomPerm(total, rng.New(seed, 0x9a1e))
-	next := 0
-	take := func(m int) []int {
-		s := perm[next : next+m]
-		next += m
-		return s
-	}
-	sets := make([][]int, n)
-	for u := range sets {
-		sets[u] = make([]int, 0, c)
-	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			pair := take(k)
-			sets[u] = append(sets[u], pair...)
-			sets[v] = append(sets[v], pair...)
-		}
-	}
-	for u := 0; u < n; u++ {
-		sets[u] = append(sets[u], take(private)...)
-	}
-	if err := applyLabels(sets, model, seed); err != nil {
-		return nil, err
-	}
-	return &Static{channels: total, perNode: c, minOverlap: k, sets: sets}, nil
+	return new(Builder).PairwiseDedicated(n, c, k, model, seed)
 }
 
 // maxRandomPoolTries bounds the rejection sampling in RandomPool.
@@ -135,49 +50,5 @@ const maxRandomPoolTries = 64
 // bounded number of attempts — callers should pick parameters for which the
 // expected overlap c²/C comfortably exceeds k.
 func RandomPool(n, c, k, totalChannels int, model LabelModel, seed int64) (*Static, error) {
-	if err := checkCommon(n, c, k, model); err != nil {
-		return nil, err
-	}
-	if totalChannels < c {
-		return nil, fmt.Errorf("assign: C=%d must be at least c=%d", totalChannels, c)
-	}
-	all := make([]int, totalChannels)
-	for i := range all {
-		all[i] = i
-	}
-	for try := 0; try < maxRandomPoolTries; try++ {
-		sets := make([][]int, n)
-		for u := range sets {
-			r := rng.New(seed, int64(try), int64(u), 0x4a11)
-			sets[u] = sampleWithout(all, c, r)
-		}
-		s := &Static{channels: totalChannels, perNode: c, minOverlap: k, sets: sets}
-		if s.Validate() == nil {
-			if err := applyLabels(sets, model, seed); err != nil {
-				return nil, err
-			}
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("assign: no uniform draw with pairwise overlap >= %d found in %d tries (n=%d c=%d C=%d); expected overlap is c²/C = %.1f",
-		k, maxRandomPoolTries, n, c, totalChannels, float64(c*c)/float64(totalChannels))
-}
-
-// randomPerm returns a random permutation of 0..n-1 using r.
-func randomPerm(n int, r interface{ Perm(int) []int }) []int {
-	return r.Perm(n)
-}
-
-// sampleWithout returns m distinct elements of pool chosen uniformly,
-// without mutating pool.
-func sampleWithout(pool []int, m int, r interface{ Perm(int) []int }) []int {
-	if m == 0 {
-		return nil
-	}
-	idx := r.Perm(len(pool))[:m]
-	out := make([]int, m)
-	for i, j := range idx {
-		out[i] = pool[j]
-	}
-	return out
+	return new(Builder).RandomPool(n, c, k, totalChannels, model, seed)
 }

@@ -47,6 +47,9 @@ type rdvNode struct {
 	source   bool
 	informed bool
 	body     sim.Message
+	// wire is the boxed payload the source broadcasts, built once so the
+	// steady-state slot path stays allocation-free.
+	wire sim.Message
 }
 
 var _ sim.Protocol = (*rdvNode)(nil)
@@ -54,7 +57,7 @@ var _ sim.Protocol = (*rdvNode)(nil)
 func (n *rdvNode) Step(slot int) sim.Action {
 	ch := n.rand.Intn(n.view.NumChannels(slot))
 	if n.source {
-		return sim.Broadcast(ch, payload{Body: n.body})
+		return sim.Broadcast(ch, n.wire)
 	}
 	return sim.Listen(ch)
 }
@@ -93,6 +96,7 @@ func RendezvousBroadcast(asn sim.Assignment, source sim.NodeID, body sim.Message
 			source:   sim.NodeID(i) == source,
 			informed: sim.NodeID(i) == source,
 			body:     body,
+			wire:     payload{Body: body},
 		}
 		protos[i] = nodes[i]
 	}
@@ -120,17 +124,19 @@ func RendezvousBroadcast(asn sim.Assignment, source sim.NodeID, body sim.Message
 // learns whether the source heard it — fair contention simply keeps every
 // sender in the race, which is what makes the baseline cost O(c²n/k).
 type aggSender struct {
-	view  sim.NodeView
-	rand  *rand.Rand
-	id    sim.NodeID
-	value int64
+	view sim.NodeView
+	rand *rand.Rand
+	// wire is the boxed datum, built once: the report never changes, and
+	// re-boxing it every Step was the dominant allocation of the whole
+	// rendezvous-aggregation baseline.
+	wire sim.Message
 }
 
 var _ sim.Protocol = (*aggSender)(nil)
 
 func (n *aggSender) Step(slot int) sim.Action {
 	ch := n.rand.Intn(n.view.NumChannels(slot))
-	return sim.Broadcast(ch, datum{ID: n.id, Value: n.value})
+	return sim.Broadcast(ch, n.wire)
 }
 
 func (n *aggSender) Deliver(int, sim.Event) {}
@@ -191,10 +197,9 @@ func RendezvousAggregation(asn sim.Assignment, source sim.NodeID, inputs []int64
 			continue
 		}
 		protos[i] = &aggSender{
-			view:  sim.View(asn, sim.NodeID(i)),
-			rand:  rng.New(seed, int64(i), 0xa66),
-			id:    sim.NodeID(i),
-			value: inputs[i],
+			view: sim.View(asn, sim.NodeID(i)),
+			rand: rng.New(seed, int64(i), 0xa66),
+			wire: datum{ID: sim.NodeID(i), Value: inputs[i]},
 		}
 	}
 	eng, err := sim.NewEngine(asn, protos, seed)
@@ -224,6 +229,9 @@ type hopNode struct {
 	localOf  map[int]int // physical channel -> local index
 	informed bool
 	body     sim.Message
+	// wire is the boxed payload an informed node rebroadcasts; built once by
+	// the source and adopted from the received message by everyone else.
+	wire sim.Message
 }
 
 var _ sim.Protocol = (*hopNode)(nil)
@@ -234,7 +242,7 @@ func (n *hopNode) Step(slot int) sim.Action {
 		return sim.Idle()
 	}
 	if n.informed {
-		return sim.Broadcast(local, payload{Body: n.body})
+		return sim.Broadcast(local, n.wire)
 	}
 	return sim.Listen(local)
 }
@@ -246,6 +254,7 @@ func (n *hopNode) Deliver(_ int, ev sim.Event) {
 	if p, ok := ev.Msg.(payload); ok {
 		n.informed = true
 		n.body = p.Body
+		n.wire = ev.Msg // already the boxed payload; reuse it
 	}
 }
 
@@ -271,6 +280,7 @@ func HoppingTogether(asn sim.Assignment, source sim.NodeID, body sim.Message, se
 			localOf:  localOf,
 			informed: sim.NodeID(i) == source,
 			body:     body,
+			wire:     payload{Body: body},
 		}
 		protos[i] = nodes[i]
 	}

@@ -94,15 +94,32 @@ func WithRecording() Option {
 // The node's random stream is derived from (seed, node id), so a network of
 // nodes built from one seed is reproducible yet uncorrelated.
 func New(view sim.NodeView, source bool, payload sim.Message, seed int64, opts ...Option) *Node {
-	n := &Node{
+	n := &Node{}
+	n.Reinit(view, source, payload, seed, opts...)
+	return n
+}
+
+// Reinit re-initializes the node exactly as New would, but reuses its random
+// source and record backing so trial arenas can rebuild a network without
+// per-node allocations. A reinitialized node's behavior is draw-for-draw
+// identical to a fresh one.
+func (n *Node) Reinit(view sim.NodeView, source bool, payload sim.Message, seed int64, opts ...Option) {
+	r := n.rand
+	if r == nil {
+		r = rng.New(seed, int64(view.ID()), 0xca57)
+	} else {
+		rng.Reseed(r, seed, int64(view.ID()), 0xca57)
+	}
+	*n = Node{
 		id:           view.ID(),
 		view:         view,
-		rand:         rng.New(seed, int64(view.ID()), 0xca57),
+		rand:         r,
 		informed:     source,
 		payload:      payload,
 		parent:       sim.None,
 		informedSlot: -1,
 		lastSlot:     -1,
+		records:      n.records[:0],
 	}
 	if source {
 		n.wire = Payload{Body: payload}
@@ -110,7 +127,6 @@ func New(view sim.NodeView, source bool, payload sim.Message, seed int64, opts .
 	for _, opt := range opts {
 		opt(n)
 	}
-	return n
 }
 
 // Step implements sim.Protocol: choose a uniform random channel; broadcast

@@ -48,10 +48,54 @@ type RunConfig struct {
 	Trace trace.Sink
 }
 
-// Run executes COGCAST over the assignment with the given source node and
-// returns the outcome. It is the harness used by experiments, baselines
-// comparisons, and the public API.
-func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64, cfg RunConfig) (*Result, error) {
+// Arena holds the reusable pieces of a COGCAST execution — nodes, their
+// protocol slice, the engine, and trace scratch — so repeated trials can run
+// without rebuilding them. The zero value is ready to use; Arena.Run on a
+// warm arena is byte-identical to the package-level Run. Arenas are not safe
+// for concurrent use: parallel trial runners keep one per worker.
+type Arena struct {
+	nodes       []*Node
+	protos      []sim.Protocol
+	eng         *sim.Engine
+	wasInformed []bool
+	opts        []sim.Option
+}
+
+// Nodes exposes the per-node protocol state of the most recent Run; entry i
+// is valid until the arena's next trial. COGCOMP's phases read these.
+func (a *Arena) Nodes() []*Node { return a.nodes }
+
+// build (re)initializes n nodes and the engine for one trial. nodeOpts apply
+// to every node (COGCOMP passes WithRecording).
+func (a *Arena) build(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64, engOpts []sim.Option, nodeOpts ...Option) error {
+	n := asn.Nodes()
+	if cap(a.nodes) < n {
+		a.nodes = append(a.nodes[:cap(a.nodes)], make([]*Node, n-cap(a.nodes))...)
+		a.protos = make([]sim.Protocol, n)
+	}
+	a.nodes = a.nodes[:n]
+	a.protos = a.protos[:n]
+	for i := range a.nodes {
+		if a.nodes[i] == nil {
+			a.nodes[i] = &Node{}
+		}
+		a.nodes[i].Reinit(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, payload, seed, nodeOpts...)
+		a.protos[i] = a.nodes[i]
+	}
+	if a.eng == nil {
+		eng, err := sim.NewEngine(asn, a.protos, seed, engOpts...)
+		if err != nil {
+			return err
+		}
+		a.eng = eng
+		return nil
+	}
+	return a.eng.Reset(asn, a.protos, seed, engOpts...)
+}
+
+// Run executes COGCAST exactly as the package-level Run does, reusing the
+// arena's nodes and engine.
+func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64, cfg RunConfig) (*Result, error) {
 	n := asn.Nodes()
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("cogcast: source %d outside [0,%d)", source, n)
@@ -61,24 +105,18 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 		maxSlots = SlotBound(n, asn.PerNode(), asn.MinOverlap(), DefaultKappa)
 	}
 
-	nodes := make([]*Node, n)
-	protos := make([]sim.Protocol, n)
-	for i := range nodes {
-		nodes[i] = New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, payload, seed)
-		protos[i] = nodes[i]
-	}
-	opts := []sim.Option{sim.WithCollisionModel(cfg.Collisions)}
+	a.opts = append(a.opts[:0], sim.WithCollisionModel(cfg.Collisions))
 	obs := cfg.Observer
 	if cfg.Trace != nil {
 		obs = sim.Tee(obs, trace.NewRecorder(cfg.Trace))
 	}
 	if obs != nil {
-		opts = append(opts, sim.WithObserver(obs))
+		a.opts = append(a.opts, sim.WithObserver(obs))
 	}
-	eng, err := sim.NewEngine(asn, protos, seed, opts...)
-	if err != nil {
+	if err := a.build(asn, source, payload, seed, a.opts); err != nil {
 		return nil, err
 	}
+	nodes, eng := a.nodes, a.eng
 
 	informed := func() int {
 		count := 0
@@ -94,7 +132,10 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 	// can emit per-node informed events and the epidemic-progress curve.
 	var wasInformed []bool
 	if cfg.Trace != nil {
-		wasInformed = make([]bool, n)
+		if cap(a.wasInformed) < n {
+			a.wasInformed = make([]bool, n)
+		}
+		wasInformed = a.wasInformed[:n]
 		for i, nd := range nodes {
 			wasInformed[i] = nd.Informed()
 		}
@@ -137,4 +178,12 @@ func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64,
 		res.InformedSlots[i] = nd.InformedSlot()
 	}
 	return res, nil
+}
+
+// Run executes COGCAST over the assignment with the given source node and
+// returns the outcome. It is the harness used by experiments, baselines
+// comparisons, and the public API. Repeated callers should prefer a reusable
+// Arena; this convenience builds a fresh one per call.
+func Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, seed int64, cfg RunConfig) (*Result, error) {
+	return new(Arena).Run(asn, source, payload, seed, cfg)
 }

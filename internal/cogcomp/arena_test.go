@@ -1,0 +1,92 @@
+package cogcomp_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/cogcomp"
+)
+
+func trialInputs(n int, shift int64) []int64 {
+	inputs := make([]int64, n)
+	for i := range inputs {
+		inputs[i] = int64(i) + shift
+	}
+	return inputs
+}
+
+// TestArenaMatchesFresh is the reuse-vs-fresh equivalence test for COGCOMP:
+// a warm arena cycling through trials of varying seeds and shapes must
+// reproduce every fresh Run result exactly — aggregate, phase breakdown,
+// tree, mediators.
+func TestArenaMatchesFresh(t *testing.T) {
+	arena := &cogcomp.Arena{}
+	shapes := []struct{ n, c, k int }{
+		{16, 6, 2},
+		{8, 4, 2},
+		{24, 6, 3},
+	}
+	for trial := 0; trial < 6; trial++ {
+		sh := shapes[trial%len(shapes)]
+		seed := int64(300 + trial)
+		asn, err := assign.Partitioned(sh.n, sh.c, sh.k, assign.LocalLabels, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := trialInputs(sh.n, int64(trial))
+		want, wantErr := cogcomp.Run(asn, 0, inputs, seed, cogcomp.Config{})
+		got, gotErr := arena.Run(asn, 0, inputs, seed, cogcomp.Config{})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: fresh %v, arena %v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got.Value != want.Value || got.TotalSlots != want.TotalSlots ||
+			got.Phase4Slots != want.Phase4Slots || got.Mediators != want.Mediators ||
+			got.MaxMessageSize != want.MaxMessageSize ||
+			got.InformedAfterPhase1 != want.InformedAfterPhase1 {
+			t.Fatalf("trial %d: arena result %+v != fresh %+v", trial, got, want)
+		}
+		for i := range want.Parents {
+			if got.Parents[i] != want.Parents[i] {
+				t.Fatalf("trial %d node %d: parent %d != %d", trial, i, got.Parents[i], want.Parents[i])
+			}
+		}
+	}
+}
+
+// TestArenaSessionMatchesFresh covers the multi-round session path: warm
+// arena sessions must match fresh RunRounds round for round.
+func TestArenaSessionMatchesFresh(t *testing.T) {
+	arena := &cogcomp.Arena{}
+	const n = 16
+	for trial := 0; trial < 3; trial++ {
+		seed := int64(40 + trial)
+		asn, err := assign.SharedCore(n, 6, 2, 18, assign.LocalLabels, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := make([][]int64, 4)
+		for r := range rounds {
+			rounds[r] = trialInputs(n, int64(r*10+trial))
+		}
+		want, wantErr := cogcomp.RunRounds(asn, 0, rounds, seed, cogcomp.SessionConfig{})
+		got, gotErr := arena.RunRounds(asn, 0, rounds, seed, cogcomp.SessionConfig{})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: fresh %v, arena %v", trial, wantErr, gotErr)
+		}
+		if got.TotalSlots != want.TotalSlots || got.SetupSlots != want.SetupSlots {
+			t.Fatalf("trial %d: slots (%d,%d) != fresh (%d,%d)", trial,
+				got.TotalSlots, got.SetupSlots, want.TotalSlots, want.SetupSlots)
+		}
+		for r := range want.Values {
+			if got.Values[r] != want.Values[r] || got.Complete[r] != want.Complete[r] ||
+				got.FinishSteps[r] != want.FinishSteps[r] {
+				t.Fatalf("trial %d round %d: (%v,%v,%d) != fresh (%v,%v,%d)", trial, r,
+					got.Values[r], got.Complete[r], got.FinishSteps[r],
+					want.Values[r], want.Complete[r], want.FinishSteps[r])
+			}
+		}
+	}
+}

@@ -118,23 +118,47 @@ var _ sim.Protocol = (*Node)(nil)
 // f the associative aggregate to compute. The source initiates the
 // broadcast and ultimately holds the network-wide aggregate.
 func New(view sim.NodeView, source bool, n, phase1Len int, input int64, f aggfunc.Func, seed int64) *Node {
-	nd := &Node{
-		id:         view.ID(),
-		n:          n,
-		l:          phase1Len,
-		source:     source,
-		f:          f,
-		input:      input,
-		cast:       cogcast.New(view, source, initPayload{}, seed, cogcast.WithRecording()),
-		p2start:    phase1Len,
-		p3start:    phase1Len + n,
-		p4start:    2*phase1Len + n,
-		r0:         -1,
-		parent:     sim.None,
-		pendingAck: sim.None,
-		announced:  -1,
-	}
+	nd := &Node{}
+	nd.Reinit(view, source, n, phase1Len, input, f, seed)
 	return nd
+}
+
+// Reinit re-initializes the node exactly as New would, but reuses the
+// embedded COGCAST node (including its random source and record log) and the
+// phase-state slice backings, so trial arenas can rebuild a network without
+// per-node allocations. A reinitialized node is draw-for-draw identical to a
+// fresh one.
+func (nd *Node) Reinit(view sim.NodeView, source bool, n, phase1Len int, input int64, f aggfunc.Func, seed int64) {
+	cast := nd.cast
+	if cast == nil {
+		cast = cogcast.New(view, source, initPayload{}, seed, cogcast.WithRecording())
+	} else {
+		cast.Reinit(view, source, initPayload{}, seed, cogcast.WithRecording())
+	}
+	*nd = Node{
+		id:          view.ID(),
+		n:           n,
+		l:           phase1Len,
+		source:      source,
+		f:           f,
+		input:       input,
+		cast:        cast,
+		p2start:     phase1Len,
+		p3start:     phase1Len + n,
+		p4start:     2*phase1Len + n,
+		r0:          -1,
+		parent:      sim.None,
+		pendingAck:  sim.None,
+		announced:   -1,
+		roster:      nd.roster[:0],
+		medClusters: nd.medClusters[:0],
+		collected:   nd.collected[:0],
+		// Session backings survive too; RunRounds refills them per session.
+		rounds:        nd.rounds[:0],
+		results:       nd.results[:0],
+		completeRound: nd.completeRound[:0],
+		finishSteps:   nd.finishSteps[:0],
+	}
 }
 
 // PhaseOneLength returns the phase-one slot count all nodes must share:

@@ -56,11 +56,48 @@ type Result struct {
 	Mediators int
 }
 
-// Run executes COGCOMP over the assignment and returns the source's
-// aggregate. The assignment must be static: phases two to four revisit the
-// channels used in phase one, which is meaningless if sets change per slot
-// (COGCAST alone, by contrast, also works over dynamic assignments).
-func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+// Arena holds the reusable pieces of a COGCOMP execution — nodes (each with
+// its embedded COGCAST node), the protocol slice, and the engine — so
+// repeated trials run without rebuilding them. The zero value is ready to
+// use; a warm arena's runs are byte-identical to the package-level Run and
+// RunRounds. Arenas are not safe for concurrent use: parallel trial runners
+// keep one per worker.
+type Arena struct {
+	nodes   []*Node
+	protos  []sim.Protocol
+	eng     *sim.Engine
+	engOpts []sim.Option
+}
+
+// build (re)initializes n nodes and the engine for one execution.
+func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input func(i int) int64, f aggfunc.Func, seed int64, engOpts []sim.Option) error {
+	if cap(a.nodes) < n {
+		a.nodes = append(a.nodes[:cap(a.nodes)], make([]*Node, n-cap(a.nodes))...)
+		a.protos = make([]sim.Protocol, n)
+	}
+	a.nodes = a.nodes[:n]
+	a.protos = a.protos[:n]
+	for i := range a.nodes {
+		if a.nodes[i] == nil {
+			a.nodes[i] = &Node{}
+		}
+		a.nodes[i].Reinit(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, input(i), f, seed)
+		a.protos[i] = a.nodes[i]
+	}
+	if a.eng == nil {
+		eng, err := sim.NewEngine(asn, a.protos, seed, engOpts...)
+		if err != nil {
+			return err
+		}
+		a.eng = eng
+		return nil
+	}
+	return a.eng.Reset(asn, a.protos, seed, engOpts...)
+}
+
+// Run executes COGCOMP exactly as the package-level Run does, reusing the
+// arena's nodes and engine.
+func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
 	n := asn.Nodes()
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
@@ -84,21 +121,16 @@ func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg 
 		maxSlots = (2*l + n) + 6*(n+l) + 96
 	}
 
-	nodes := make([]*Node, n)
-	protos := make([]sim.Protocol, n)
-	for i := range nodes {
-		nodes[i] = New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, inputs[i], f, seed)
-		protos[i] = nodes[i]
-	}
-	var engOpts []sim.Option
+	a.engOpts = a.engOpts[:0]
 	if cfg.Trace != nil {
-		engOpts = append(engOpts, sim.WithObserver(trace.NewRecorder(cfg.Trace)))
+		a.engOpts = append(a.engOpts, sim.WithObserver(trace.NewRecorder(cfg.Trace)))
 	}
-	eng, err := sim.NewEngine(asn, protos, seed, engOpts...)
-	if err != nil {
+	if err := a.build(asn, source, n, l, func(i int) int64 { return inputs[i] }, f, seed, a.engOpts); err != nil {
 		return nil, err
 	}
+	nodes, eng := a.nodes, a.eng
 	var total int
+	var err error
 	if cfg.Trace == nil {
 		total, err = eng.Run(maxSlots)
 	} else {
@@ -143,6 +175,16 @@ func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg 
 		return res, ErrIncomplete
 	}
 	return res, nil
+}
+
+// Run executes COGCOMP over the assignment and returns the source's
+// aggregate. The assignment must be static: phases two to four revisit the
+// channels used in phase one, which is meaningless if sets change per slot
+// (COGCAST alone, by contrast, also works over dynamic assignments).
+// Repeated callers should prefer a reusable Arena; this convenience builds a
+// fresh one per call.
+func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+	return new(Arena).Run(asn, source, inputs, seed, cfg)
 }
 
 // runTraced mirrors eng.Run(maxSlots) slot by slot so phase-transition

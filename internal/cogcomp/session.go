@@ -52,8 +52,18 @@ type SessionResult struct {
 
 // RunRounds executes a session: rounds[r][v] is node v's input in round r.
 // The assignment must be static. Every round's aggregate is computed over
-// the same distribution tree.
+// the same distribution tree. Repeated callers should prefer a reusable
+// Arena; this convenience builds a fresh one per call.
 func RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int64, seed int64, cfg SessionConfig) (*SessionResult, error) {
+	return new(Arena).RunRounds(asn, source, rounds, seed, cfg)
+}
+
+// RunRounds executes a session exactly as the package-level RunRounds does,
+// reusing the arena's nodes and engine. The returned result's Values,
+// Complete and FinishSteps slices alias per-node session backing that the
+// arena's next execution reuses; callers that retain them across trials must
+// copy.
+func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int64, seed int64, cfg SessionConfig) (*SessionResult, error) {
 	n := asn.Nodes()
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
@@ -80,34 +90,26 @@ func RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int64, seed int
 		roundSteps = n + l + 16
 	}
 
-	nodes := make([]*Node, n)
-	protos := make([]sim.Protocol, n)
-	for i := range nodes {
-		perRound := make([]int64, len(rounds))
+	if err := a.build(asn, source, n, l, func(i int) int64 { return rounds[0][i] }, f, seed, nil); err != nil {
+		return nil, err
+	}
+	nodes := a.nodes
+	for i, nd := range nodes {
 		for r := range rounds {
-			perRound[r] = rounds[r][i]
+			nd.rounds = append(nd.rounds, rounds[r][i])
 		}
-		nd := New(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, perRound[0], f, seed)
-		nd.rounds = perRound
 		nd.roundSteps = roundSteps
 		if sim.NodeID(i) == source {
-			nd.results = make([]aggfunc.Value, len(rounds))
-			nd.completeRound = make([]bool, len(rounds))
-			nd.finishSteps = make([]int, len(rounds))
-			for r := range nd.finishSteps {
-				nd.finishSteps[r] = -1
+			for r := 0; r < len(rounds); r++ {
+				nd.results = append(nd.results, nil)
+				nd.completeRound = append(nd.completeRound, false)
+				nd.finishSteps = append(nd.finishSteps, -1)
 			}
 		}
-		nodes[i] = nd
-		protos[i] = nd
-	}
-	eng, err := sim.NewEngine(asn, protos, seed)
-	if err != nil {
-		return nil, err
 	}
 	setup := 2*l + n
 	budget := setup + 3*roundSteps*len(rounds) + 3
-	total, err := eng.Run(budget)
+	total, err := a.eng.Run(budget)
 	if err != nil && !errors.Is(err, sim.ErrMaxSlots) {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func runE15(cfg Config) ([]*Table, error) {
 		cogComplete  bool
 		cogSlots     float64
 	}
-	results, err := forTrials(cfg, trials, func(trial int) (advResult, error) {
+	results, err := forTrials(cfg, trials, func(trial int, a *arena) (advResult, error) {
 		var out advResult
 		ts := rng.Derive(cfg.Seed, int64(trial), 150)
 		adv, err := assign.NewAntiScan(n, c, k, nil, ts)
@@ -62,7 +62,7 @@ func runE15(cfg Config) ([]*Table, error) {
 		out.scanInformed = float64(scan.Informed)
 
 		// The same adversary cannot predict COGCAST's coin flips.
-		cog, err := cogcast.Run(adv, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
+		cog, err := a.cast.Run(adv, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
 		if err != nil {
 			return out, err
 		}
@@ -124,14 +124,14 @@ func runE16(cfg Config) ([]*Table, error) {
 	for _, n := range ns {
 		seed := rng.Derive(cfg.Seed, int64(n), 160)
 		run := func(model sim.CollisionModel, offset int64) (stats.Summary, error) {
-			slots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
+			slots, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (float64, error) {
 				ts := rng.Derive(seed, int64(trial), offset)
-				asn, err := assign.SharedCore(n, c, k, total, assign.LocalLabels, ts)
+				asn, err := a.assign.SharedCore(n, c, k, total, assign.LocalLabels, ts)
 				if err != nil {
 					return 0, err
 				}
 				budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
-				res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
+				res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 					UntilAllInformed: true, MaxSlots: budget, Collisions: model,
 				})
 				if err != nil {
@@ -175,13 +175,13 @@ func runE17(cfg Config) ([]*Table, error) {
 	}
 	for _, kappa := range kappas {
 		horizon := cogcast.SlotBound(n, c, k, kappa)
-		dones, err := forTrials(cfg, trials, func(trial int) (bool, error) {
+		dones, err := forTrials(cfg, trials, func(trial int, a *arena) (bool, error) {
 			ts := rng.Derive(cfg.Seed, int64(kappa*100), int64(trial), 170)
-			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
 				return false, err
 			}
-			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{MaxSlots: horizon})
+			res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{MaxSlots: horizon})
 			if err != nil {
 				return false, err
 			}

@@ -35,14 +35,14 @@ func runE23(cfg Config) ([]*Table, error) {
 	}
 	for _, p := range points {
 		type lbResult struct{ steps, total float64 }
-		results, err := forTrials(cfg, cfg.trials(), func(trial int) (lbResult, error) {
+		results, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (lbResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.n), int64(p.k), int64(trial), 230)
-			asn, err := assign.FullOverlap(p.n, p.k, assign.LocalLabels, ts)
+			asn, err := a.assign.FullOverlap(p.n, p.k, assign.LocalLabels, ts)
 			if err != nil {
 				return lbResult{}, err
 			}
-			inputs := experInputs(p.n, ts)
-			res, err := cogcomp.Run(asn, 0, inputs, ts, cogcomp.Config{})
+			inputs := a.experInputs(p.n, ts)
+			res, err := a.comp.Run(asn, 0, inputs, ts, cogcomp.Config{})
 			if err != nil {
 				return lbResult{}, err
 			}

@@ -44,20 +44,21 @@ func experInputs(n int, seed int64) []int64 {
 
 // cogcompTrials runs COGCOMP `trials` times on cfg's worker pool and returns
 // summaries of total and phase-four slots, verifying the aggregate against
-// ground truth in every trial.
-func cogcompTrials(cfg Config, trials int, seed int64, f aggfunc.Func, build func(ts int64) (sim.Assignment, error)) (total, phase4 stats.Summary, maxMsg int, err error) {
+// ground truth in every trial. build receives the worker's assignment
+// builder; assignments and inputs regenerate into per-worker arena scratch.
+func cogcompTrials(cfg Config, trials int, seed int64, f aggfunc.Func, build func(b *assign.Builder, ts int64) (sim.Assignment, error)) (total, phase4 stats.Summary, maxMsg int, err error) {
 	type compResult struct {
 		total, phase4 float64
 		maxMsg        int
 	}
-	results, err := forTrials(cfg, trials, func(trial int) (compResult, error) {
+	results, err := forTrials(cfg, trials, func(trial int, a *arena) (compResult, error) {
 		ts := rng.Derive(seed, int64(trial))
-		asn, err := build(ts)
+		asn, err := build(&a.assign, ts)
 		if err != nil {
 			return compResult{}, err
 		}
-		inputs := experInputs(asn.Nodes(), ts)
-		res, err := cogcomp.Run(asn, 0, inputs, ts, cogcomp.Config{Func: f})
+		inputs := a.experInputs(asn.Nodes(), ts)
+		res, err := a.comp.Run(asn, 0, inputs, ts, cogcomp.Config{Func: f})
 		if err != nil {
 			return compResult{}, err
 		}
@@ -105,8 +106,8 @@ func runE4(cfg Config) ([]*Table, error) {
 	var xs, ys []float64
 	for _, n := range ns {
 		total, p4, _, err := cogcompTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 40), aggfunc.Sum{},
-			func(ts int64) (sim.Assignment, error) {
-				return assign.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
+			func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+				return b.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
 			})
 		if err != nil {
 			return nil, err
@@ -144,19 +145,19 @@ func runE5(cfg Config) ([]*Table, error) {
 	}
 	for _, p := range points {
 		seed := rng.Derive(cfg.Seed, int64(p.n), int64(p.c), 50)
-		cogTotal, _, _, err := cogcompTrials(cfg, trials, seed, aggfunc.Sum{}, func(ts int64) (sim.Assignment, error) {
-			return assign.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
+		cogTotal, _, _, err := cogcompTrials(cfg, trials, seed, aggfunc.Sum{}, func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		rdvSlots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
+		rdvSlots, err := forTrials(cfg, trials, func(trial int, a *arena) (float64, error) {
 			ts := rng.Derive(seed, int64(trial), 51)
-			asn, err := assign.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
+			asn, err := a.assign.SharedCore(p.n, p.c, p.k, 3*p.c, assign.LocalLabels, ts)
 			if err != nil {
 				return 0, err
 			}
-			inputs := experInputs(p.n, ts)
+			inputs := a.experInputs(p.n, ts)
 			res, err := baseline.RendezvousAggregation(asn, 0, inputs, ts, 8_000_000)
 			if err != nil {
 				return 0, err
@@ -199,8 +200,8 @@ func runE14(cfg Config) ([]*Table, error) {
 		row := []string{itoa(n)}
 		for _, f := range []aggfunc.Func{aggfunc.Sum{}, aggfunc.Stats{}, aggfunc.Collect{}} {
 			_, _, maxMsg, err := cogcompTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 60), f,
-				func(ts int64) (sim.Assignment, error) {
-					return assign.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
+				func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+					return b.SharedCore(n, c, k, totalCh, assign.LocalLabels, ts)
 				})
 			if err != nil {
 				return nil, err

@@ -38,14 +38,14 @@ func runE24(cfg Config) ([]*Table, error) {
 	for _, n := range ns {
 		// One representative run per n at full trial count would repeat
 		// near-identical histograms; aggregate across trials instead.
-		results, err := forTrials(cfg, cfg.trials(), func(trial int) (costResult, error) {
+		results, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (costResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(n), int64(trial), 240)
-			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
 				return costResult{}, err
 			}
 			obs := backoff.NewCostObserver(n, ts)
-			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
+			res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 				UntilAllInformed: true, MaxSlots: 200000, Observer: obs,
 			})
 			if err != nil {

@@ -15,14 +15,16 @@ import (
 
 // cogcastTrials runs COGCAST to completion `trials` times over assignments
 // built per-trial and returns the summary of the slot counts. Trials run on
-// cfg's worker pool; each derives its state from the trial index alone, so
-// the summary is identical at every parallelism level. When cfg.Trace is
-// set each trial is bracketed by a trial-boundary event and streams its
-// slot and protocol events into the sink (serially; see Config.Trace).
-func cogcastTrials(cfg Config, trials int, seed int64, build func(trialSeed int64) (sim.Assignment, error)) (stats.Summary, error) {
-	slots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
+// cfg's worker pool; build receives the worker's assignment builder (ignore
+// it for assignment kinds the builder does not cover) and each trial derives
+// its state from the trial index alone, so the summary is identical at every
+// parallelism level. When cfg.Trace is set each trial is bracketed by a
+// trial-boundary event and streams its slot and protocol events into the
+// sink (serially; see Config.Trace).
+func cogcastTrials(cfg Config, trials int, seed int64, build func(b *assign.Builder, trialSeed int64) (sim.Assignment, error)) (stats.Summary, error) {
+	slots, err := forTrials(cfg, trials, func(trial int, a *arena) (float64, error) {
 		ts := rng.Derive(seed, int64(trial))
-		asn, err := build(ts)
+		asn, err := build(&a.assign, ts)
 		if err != nil {
 			return 0, err
 		}
@@ -30,7 +32,7 @@ func cogcastTrials(cfg Config, trials int, seed int64, build func(trialSeed int6
 			cfg.Trace.Emit(trace.TrialEvent(trial, ts))
 		}
 		budget := 64 * cogcast.SlotBound(asn.Nodes(), asn.PerNode(), asn.MinOverlap(), cogcast.DefaultKappa)
-		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trace: cfg.Trace})
+		res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trace: cfg.Trace})
 		if err != nil {
 			return 0, err
 		}
@@ -95,8 +97,8 @@ func runE1(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, n := range ns {
-		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 1), func(ts int64) (sim.Assignment, error) {
-			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(n), 1), func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
@@ -125,8 +127,8 @@ func runE1(cfg Config) ([]*Table, error) {
 		ks = []int{2, 8}
 	}
 	for _, kk := range ks {
-		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kk), 11), func(ts int64) (sim.Assignment, error) {
-			return assign.Partitioned(n1b, c, kk, assign.LocalLabels, ts)
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kk), 11), func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.Partitioned(n1b, c, kk, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
@@ -157,8 +159,8 @@ func runE2(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, c := range cs {
-		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(c), 2), func(ts int64) (sim.Assignment, error) {
-			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+		s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(c), 2), func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
@@ -190,15 +192,15 @@ func runE3(cfg Config) ([]*Table, error) {
 	var xs, ratios []float64
 	for _, c := range cs {
 		seed := rng.Derive(cfg.Seed, int64(c), 3)
-		cog, err := cogcastTrials(cfg, cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
-			return assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+		cog, err := cogcastTrials(cfg, cfg.trials(), seed, func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.Partitioned(n, c, k, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		rdvSlots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
+		rdvSlots, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (float64, error) {
 			ts := rng.Derive(seed, int64(trial), 4)
-			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
 				return 0, err
 			}
@@ -244,13 +246,13 @@ func runE10(cfg Config) ([]*Table, error) {
 	}
 	for _, n := range ns {
 		seed := rng.Derive(cfg.Seed, int64(n), 10)
-		static, err := cogcastTrials(cfg, cfg.trials(), seed, func(ts int64) (sim.Assignment, error) {
-			return assign.SharedCore(n, c, k, total, assign.LocalLabels, ts)
+		static, err := cogcastTrials(cfg, cfg.trials(), seed, func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+			return b.SharedCore(n, c, k, total, assign.LocalLabels, ts)
 		})
 		if err != nil {
 			return nil, err
 		}
-		dynamic, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(seed, 1), func(ts int64) (sim.Assignment, error) {
+		dynamic, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(seed, 1), func(_ *assign.Builder, ts int64) (sim.Assignment, error) {
 			return assign.NewDynamic(n, c, k, total, ts)
 		})
 		if err != nil {
@@ -274,14 +276,14 @@ func runE13(cfg Config) ([]*Table, error) {
 		trials = 5
 	}
 	type stageResult struct{ stage1, total int }
-	results, err := forTrials(cfg, trials, func(trial int) (stageResult, error) {
+	results, err := forTrials(cfg, trials, func(trial int, a *arena) (stageResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 13)
-		asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+		asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		if err != nil {
 			return stageResult{}, err
 		}
 		budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
-		res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
+		res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
 		if err != nil {
 			return stageResult{}, err
 		}
@@ -322,14 +324,14 @@ func runE13(cfg Config) ([]*Table, error) {
 		Claim:   "Claim 2 covers both extremes: one shared core (congested overlap) vs pairwise-dedicated channels (spread overlap); completion times should be the same order",
 		Columns: []string{"topology", "median slots", "mean", "p90"},
 	}
-	core, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 131), func(ts int64) (sim.Assignment, error) {
-		return assign.SharedCore(9, 8, 1, 36, assign.LocalLabels, ts)
+	core, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 131), func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+		return b.SharedCore(9, 8, 1, 36, assign.LocalLabels, ts)
 	})
 	if err != nil {
 		return nil, err
 	}
-	pair, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 132), func(ts int64) (sim.Assignment, error) {
-		return assign.PairwiseDedicated(9, 8, 1, assign.LocalLabels, ts)
+	pair, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, 132), func(b *assign.Builder, ts int64) (sim.Assignment, error) {
+		return b.PairwiseDedicated(9, 8, 1, assign.LocalLabels, ts)
 	})
 	if err != nil {
 		return nil, err

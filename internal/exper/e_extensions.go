@@ -40,9 +40,9 @@ func runE18(cfg Config) ([]*Table, error) {
 	}
 	var base float64
 	for _, m := range ms {
-		slots, err := forTrials(cfg, cfg.trials(), func(trial int) (float64, error) {
+		slots, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(m), int64(trial), 180)
-			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
 				return 0, err
 			}
@@ -93,9 +93,9 @@ func runE19(cfg Config) ([]*Table, error) {
 	}
 	var xs, ys []float64
 	for _, p := range points {
-		meetSlots, err := forTrials(cfg, trials, func(trial int) (float64, error) {
+		meetSlots, err := forTrials(cfg, trials, func(trial int, a *arena) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.c), int64(p.k), int64(trial), 190)
-			asn, err := assign.TwoSet(2, p.c, p.k, assign.LocalLabels, ts)
+			asn, err := a.assign.TwoSet(2, p.c, p.k, assign.LocalLabels, ts)
 			if err != nil {
 				return 0, err
 			}
@@ -142,9 +142,9 @@ func runE19(cfg Config) ([]*Table, error) {
 	const cCmp, kCmp, cmpTrials = 16, 2, 200
 	type outcome struct{ total, max int }
 	type cmpResult struct{ uni, asym, symm int }
-	cmpResults, err := forTrials(cfg, cmpTrials, func(trial int) (cmpResult, error) {
+	cmpResults, err := forTrials(cfg, cmpTrials, func(trial int, a *arena) (cmpResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 191)
-		asn, err := assign.TwoSet(2, cCmp, kCmp, assign.LocalLabels, ts)
+		asn, err := a.assign.TwoSet(2, cCmp, kCmp, assign.LocalLabels, ts)
 		if err != nil {
 			return cmpResult{}, err
 		}

@@ -84,7 +84,7 @@ func runE7(cfg Config) ([]*Table, error) {
 	}
 	for _, p := range points {
 		type gameResult struct{ rounds, slots float64 }
-		results, err := forTrials(cfg, trials, func(trial int) (gameResult, error) {
+		results, err := forTrials(cfg, trials, func(trial int, _ *arena) (gameResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(p.c), int64(p.n), int64(trial), 7)
 			g, err := games.NewGame(p.c, p.k, ts)
 			if err != nil {
@@ -176,7 +176,7 @@ func runE8(cfg Config) ([]*Table, error) {
 		// random local positions among the source's c channels. Count the
 		// picks a strategy makes before hitting one.
 		type landing struct{ uniform, seq float64 }
-		landings, err := forTrials(cfg, trials, func(trial int) (landing, error) {
+		landings, err := forTrials(cfg, trials, func(trial int, _ *arena) (landing, error) {
 			r := rng.New(cfg.Seed, int64(k), int64(trial), 80)
 			positions := r.Perm(c)[:k]
 			inCore := make(map[int]bool, k)
@@ -212,14 +212,14 @@ func runE8(cfg Config) ([]*Table, error) {
 		if cfg.Quick {
 			contactTrials = 20
 		}
-		contact, err := forTrials(cfg, contactTrials, func(trial int) (float64, error) {
+		contact, err := forTrials(cfg, contactTrials, func(trial int, a *arena) (float64, error) {
 			ts := rng.Derive(cfg.Seed, int64(k), int64(trial), 81)
-			asn, err := assign.Partitioned(n, c, k, assign.GlobalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.GlobalLabels, ts)
 			if err != nil {
 				return 0, err
 			}
 			budget := 64 * cogcast.SlotBound(n, c, k, cogcast.DefaultKappa)
-			res, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
+			res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget, Trajectory: true})
 			if err != nil {
 				return 0, err
 			}

@@ -56,9 +56,9 @@ func runE9(cfg Config) ([]*Table, error) {
 		seed := rng.Derive(cfg.Seed, int64(p.n), int64(p.c), 90)
 		totalCh := p.k + p.n*(p.c-p.k)
 		type regimeResult struct{ hop, cog float64 }
-		results, err := forTrials(cfg, cfg.trials(), func(trial int) (regimeResult, error) {
+		results, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (regimeResult, error) {
 			ts := rng.Derive(seed, int64(trial))
-			gAsn, err := assign.Partitioned(p.n, p.c, p.k, assign.GlobalLabels, ts)
+			gAsn, err := a.assign.Partitioned(p.n, p.c, p.k, assign.GlobalLabels, ts)
 			if err != nil {
 				return regimeResult{}, err
 			}
@@ -70,12 +70,13 @@ func runE9(cfg Config) ([]*Table, error) {
 				return regimeResult{}, fmt.Errorf("exper: hopping-together incomplete in regime %q", p.label)
 			}
 
-			lAsn, err := assign.Partitioned(p.n, p.c, p.k, assign.LocalLabels, ts)
+			// Rebuilding invalidates gAsn, which the hop run is done with.
+			lAsn, err := a.assign.Partitioned(p.n, p.c, p.k, assign.LocalLabels, ts)
 			if err != nil {
 				return regimeResult{}, err
 			}
 			budget := 64 * cogcast.SlotBound(p.n, p.c, p.k, cogcast.DefaultKappa)
-			cog, err := cogcast.Run(lAsn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
+			cog, err := a.cast.Run(lAsn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
 			if err != nil {
 				return regimeResult{}, err
 			}
@@ -134,7 +135,7 @@ func runE11(cfg Config) ([]*Table, error) {
 			func(int64) jamming.Jammer { return jamming.NewSplitJammer(c, kj, 4) },
 		}
 		for _, build := range jammers {
-			s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kj), 110), func(ts int64) (sim.Assignment, error) {
+			s, err := cogcastTrials(cfg, cfg.trials(), rng.Derive(cfg.Seed, int64(kj), 110), func(_ *assign.Builder, ts int64) (sim.Assignment, error) {
 				return jamming.NewAssignment(n, c, kj, build(ts), ts)
 			})
 			if err != nil {
@@ -170,7 +171,7 @@ func runE12(cfg Config) ([]*Table, error) {
 			micro     float64
 			succeeded bool
 		}
-		results, err := forTrials(cfg, trials, func(trial int) (resolveResult, error) {
+		results, err := forTrials(cfg, trials, func(trial int, _ *arena) (resolveResult, error) {
 			res, err := backoff.Resolve(m, nUpper, rng.Derive(cfg.Seed, int64(m), int64(trial), 120))
 			if err != nil {
 				return resolveResult{}, err

@@ -59,14 +59,14 @@ func runE20(cfg Config) ([]*Table, error) {
 		exact, stalled, corrupted bool
 	}
 	for _, rate := range rates {
-		results, err := forTrials(cfg, trials, func(trial int) (outageResult, error) {
+		results, err := forTrials(cfg, trials, func(trial int, a *arena) (outageResult, error) {
 			var out outageResult
 			ts := rng.Derive(cfg.Seed, int64(rate*1000), int64(trial), 200)
 			schedule, err := faults.NewRandomOutages(rate, duration, ts, 0)
 			if err != nil {
 				return out, err
 			}
-			asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+			asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 			if err != nil {
 				return out, err
 			}
@@ -187,14 +187,14 @@ func runE21(cfg Config) ([]*Table, error) {
 		cogSlots, rdvSlots float64
 		cogM, rdvM         metrics.Metrics
 	}
-	results, err := forTrials(cfg, trials, func(trial int) (utilResult, error) {
+	results, err := forTrials(cfg, trials, func(trial int, a *arena) (utilResult, error) {
 		ts := rng.Derive(cfg.Seed, int64(trial), 210)
-		asn, err := assign.Partitioned(n, c, k, assign.LocalLabels, ts)
+		asn, err := a.assign.Partitioned(n, c, k, assign.LocalLabels, ts)
 		if err != nil {
 			return utilResult{}, err
 		}
 		var cm metrics.Collector
-		cres, err := cogcast.Run(asn, 0, "m", ts, cogcast.RunConfig{
+		cres, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{
 			UntilAllInformed: true, MaxSlots: 1_000_000, Observer: &cm,
 		})
 		if err != nil {
@@ -282,7 +282,7 @@ func runE22(cfg Config) ([]*Table, error) {
 		freeSum float64
 	}
 	for _, p := range points {
-		results, err := forTrials(cfg, trials, func(trial int) (spectrumResult, error) {
+		results, err := forTrials(cfg, trials, func(trial int, a *arena) (spectrumResult, error) {
 			var out spectrumResult
 			ts := rng.Derive(cfg.Seed, int64(trial), int64(p.pBusy*100), 220)
 			model, err := spectrum.New(spectrum.Config{
@@ -292,7 +292,7 @@ func runE22(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return out, err
 			}
-			res, err := cogcast.Run(model, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 500000})
+			res, err := a.cast.Run(model, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 500000})
 			if err != nil {
 				return out, err
 			}

@@ -35,12 +35,14 @@ func runE25(cfg Config) ([]*Table, error) {
 			sessionPer, independentPer float64
 			windowSlots                int
 		}
-		results, err := forTrials(cfg, cfg.trials(), func(trial int) (sessionResult, error) {
+		results, err := forTrials(cfg, cfg.trials(), func(trial int, a *arena) (sessionResult, error) {
 			ts := rng.Derive(cfg.Seed, int64(rc), int64(trial), 250)
-			asn, err := assign.SharedCore(n, c, k, 24, assign.LocalLabels, ts)
+			asn, err := a.assign.SharedCore(n, c, k, 24, assign.LocalLabels, ts)
 			if err != nil {
 				return sessionResult{}, err
 			}
+			// All rounds must stay alive at once, so the rounds use the
+			// allocating package experInputs rather than the arena scratch.
 			rounds := make([][]int64, rc)
 			for r := range rounds {
 				rounds[r] = experInputs(n, rng.Derive(ts, int64(r)))
@@ -48,16 +50,20 @@ func runE25(cfg Config) ([]*Table, error) {
 			// Profile: one probe round with the safe worst-case window
 			// yields the actual step requirement; run the real session with
 			// a 2x-margin tuned window (the strategy a deployment would
-			// use, with incompleteness detection as the safety net).
-			probe, err := cogcomp.RunRounds(asn, 0, rounds[:1], ts, cogcomp.SessionConfig{})
+			// use, with incompleteness detection as the safety net). The
+			// probe's FinishSteps alias arena backing, so read them before
+			// the next session run reuses it.
+			probe, err := a.comp.RunRounds(asn, 0, rounds[:1], ts, cogcomp.SessionConfig{})
 			if err != nil {
 				return sessionResult{}, err
 			}
 			tuned := 2*probe.FinishSteps[0] + 8
-			res, err := cogcomp.RunRounds(asn, 0, rounds, ts, cogcomp.SessionConfig{RoundSteps: tuned})
+			res, err := a.comp.RunRounds(asn, 0, rounds, ts, cogcomp.SessionConfig{RoundSteps: tuned})
 			if err != nil {
 				return sessionResult{}, err
 			}
+			// res.Values also alias the arena; verify before the single runs
+			// below recycle the per-node backing.
 			for r := range rounds {
 				if want := aggfunc.Fold(aggfunc.Sum{}, rounds[r]); res.Values[r] != want {
 					return sessionResult{}, fmt.Errorf("exper: E25 round %d aggregate mismatch", r)
@@ -66,7 +72,7 @@ func runE25(cfg Config) ([]*Table, error) {
 
 			total := 0
 			for r := range rounds {
-				single, err := cogcomp.Run(asn, 0, rounds[r], rng.Derive(ts, int64(r), 1), cogcomp.Config{})
+				single, err := a.comp.Run(asn, 0, rounds[r], rng.Derive(ts, int64(r), 1), cogcomp.Config{})
 				if err != nil {
 					return sessionResult{}, err
 				}

@@ -10,10 +10,15 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strings"
 
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/cogcomp"
 	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/trace"
 )
 
@@ -64,13 +69,51 @@ func (c Config) workers() int {
 	return parallel.DefaultWorkers()
 }
 
+// arena is the per-worker scratch handed to every trial closure: an
+// assignment builder, the protocol arenas, and input scratch, so repeated
+// trials regenerate their setup state in place instead of reallocating it
+// from scratch each time. The arena is layout-only reuse — all randomness
+// still derives from the trial index — so results never depend on which
+// worker's arena ran a trial and tables stay byte-identical at every
+// parallelism level.
+type arena struct {
+	assign assign.Builder
+	cast   cogcast.Arena
+	comp   cogcomp.Arena
+	inRand *rand.Rand
+	in     []int64
+}
+
+// experInputs fills the arena's input scratch with the standard experiment
+// input vector (uniform in [-1000, 1000]), drawing exactly as the package
+// function of the same name; the slice is valid until the next call on this
+// arena. Callers that need several vectors alive at once (session rounds)
+// use the allocating package-level experInputs instead.
+func (a *arena) experInputs(n int, seed int64) []int64 {
+	if a.inRand == nil {
+		a.inRand = rng.New(seed, 0x1277)
+	} else {
+		rng.Reseed(a.inRand, seed, 0x1277)
+	}
+	if cap(a.in) < n {
+		a.in = make([]int64, n)
+	}
+	a.in = a.in[:n]
+	for i := range a.in {
+		a.in[i] = a.inRand.Int63n(2001) - 1000
+	}
+	return a.in
+}
+
 // forTrials executes fn for every trial index on the configured worker pool
-// and returns the per-trial results in trial order. fn must derive all of
-// its randomness from the trial index (rng.Derive of a fixed seed and the
-// index) and share no mutable state, which is what makes the resulting
+// and returns the per-trial results in trial order. Each worker owns one
+// arena, created inside its goroutine and passed to every fn invocation it
+// runs. fn must derive all of its randomness from the trial index (rng.Derive
+// of a fixed seed and the index), treat the arena as reusable memory only,
+// and share no other mutable state — which is what makes the resulting
 // tables independent of Config.Parallel.
-func forTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
-	return parallel.Map(trials, cfg.workers(), fn)
+func forTrials[T any](cfg Config, trials int, fn func(trial int, a *arena) (T, error)) ([]T, error) {
+	return parallel.MapArena(trials, cfg.workers(), func() *arena { return new(arena) }, fn)
 }
 
 // Table is a rendered experiment result.

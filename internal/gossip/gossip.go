@@ -47,6 +47,16 @@ func (s rumorSet) withAll(other rumorSet) rumorSet {
 	return out
 }
 
+// subsetOf reports whether every rumor in s is also in t (same length).
+func (s rumorSet) subsetOf(t rumorSet) bool {
+	for i, w := range s {
+		if w&^t[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 func (s rumorSet) with(r Rumor) rumorSet {
 	out := s.clone()
 	out[r/64] |= 1 << (uint(r) % 64)
@@ -74,6 +84,9 @@ type Node struct {
 	view   sim.NodeView
 	rand   *rand.Rand
 	rumors rumorSet
+	// wire is the boxed message holding rumors, rebuilt only when the set
+	// grows, so the steady-state slot path does not re-box every broadcast.
+	wire sim.Message
 }
 
 var _ sim.Protocol = (*Node)(nil)
@@ -89,6 +102,7 @@ func NewNode(view sim.NodeView, initial []Rumor, totalRumors int, seed int64) *N
 		view:   view,
 		rand:   rng.New(seed, int64(view.ID()), 0x6055),
 		rumors: set,
+		wire:   message{rumors: set},
 	}
 }
 
@@ -97,7 +111,7 @@ func NewNode(view sim.NodeView, initial []Rumor, totalRumors int, seed int64) *N
 func (n *Node) Step(slot int) sim.Action {
 	ch := n.rand.Intn(n.view.NumChannels(slot))
 	if n.rumors.count() > 0 {
-		return sim.Broadcast(ch, message{rumors: n.rumors})
+		return sim.Broadcast(ch, n.wire)
 	}
 	return sim.Listen(ch)
 }
@@ -111,7 +125,11 @@ func (n *Node) Deliver(_ int, ev sim.Event) {
 	if !ok || ev.Kind == sim.EvSendSucceeded {
 		return
 	}
+	if m.rumors.subsetOf(n.rumors) {
+		return // nothing new; merging would reproduce the current set
+	}
 	n.rumors = n.rumors.withAll(m.rumors)
+	n.wire = message{rumors: n.rumors}
 }
 
 // Done implements sim.Protocol; gossip nodes are engine-stopped.

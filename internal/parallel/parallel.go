@@ -36,6 +36,23 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // surfaced first — wrapped with its index. All scheduled invocations still
 // run to completion first, so fn must not depend on early exit.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapArena(n, workers, func() struct{} { return struct{}{} }, func(i int, _ struct{}) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapArena is Map with a per-worker reusable scratch value: newArena runs
+// once inside each worker goroutine (so arenas are never shared between
+// goroutines and need no locking), and every fn invocation on that worker
+// receives the same arena. Trial setup state that is expensive to build —
+// engines, assignment builders, protocol node pools — lives in the arena and
+// is regenerated in place each trial instead of reallocated.
+//
+// Because trial results must not depend on which worker (and hence which
+// arena) runs them, fn must treat the arena as layout-only scratch: all
+// randomness still derives from the trial index. Under that contract the
+// results are identical for every worker count, arena or not.
+func MapArena[T, A any](n, workers int, newArena func() A, fn func(i int, arena A) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -47,8 +64,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	if workers == 1 {
+		arena := newArena()
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(i, arena)
 			if err != nil {
 				return nil, fmt.Errorf("parallel: trial %d: %w", i, err)
 			}
@@ -63,12 +81,13 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			arena := newArena()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = fn(i, arena)
 			}
 		}()
 	}

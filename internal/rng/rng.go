@@ -44,3 +44,31 @@ func Uniform01(seed int64, ids ...int64) float64 {
 func New(seed int64, ids ...int64) *rand.Rand {
 	return rand.New(rand.NewSource(Derive(seed, ids...)))
 }
+
+// Reseed re-seeds r so that its subsequent draws are exactly those of a
+// fresh New(seed, ids...). Reusing one generator this way is what lets trial
+// arenas regenerate per-trial state without allocating a new ~5 KB source
+// per entity while keeping every stream byte-identical to the fresh path.
+func Reseed(r *rand.Rand, seed int64, ids ...int64) {
+	r.Seed(Derive(seed, ids...))
+}
+
+// PermInto writes a pseudo-random permutation of [0, n) into dst (grown if
+// its capacity is short) and returns dst[:n]. The algorithm mirrors
+// rand.Rand.Perm exactly, so the values produced and the draws consumed from
+// r are identical to r.Perm(n) — the function exists so hot setup paths can
+// reuse one backing array across regenerations.
+func PermInto(r *rand.Rand, dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	// The i=0 iteration is kept even though it always writes 0: Intn(1)
+	// consumes a draw, and skipping it would shift every later stream.
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}

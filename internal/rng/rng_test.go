@@ -69,6 +69,54 @@ func TestNewReproducible(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesFresh(t *testing.T) {
+	// A re-seeded generator must be draw-for-draw identical to a fresh one:
+	// trial arenas rely on this to reuse one source across trials without
+	// perturbing any stream.
+	r := New(1, 2, 3)
+	r.Int63() // advance past the fresh state
+	for trial := int64(0); trial < 4; trial++ {
+		Reseed(r, 99, trial, 0xab)
+		fresh := New(99, trial, 0xab)
+		for i := 0; i < 32; i++ {
+			if got, want := r.Int63(), fresh.Int63(); got != want {
+				t.Fatalf("trial %d draw %d: reseeded %d != fresh %d", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	// PermInto must produce rand.Perm's values AND consume exactly the same
+	// number of draws — an off-by-one there shifts every downstream stream.
+	var buf []int
+	for _, n := range []int{0, 1, 2, 7, 64, 607} {
+		a, b := New(5, int64(n)), New(5, int64(n))
+		want := a.Perm(n)
+		buf = PermInto(b, buf, n)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d index %d: PermInto %d != Perm %d", n, i, buf[i], want[i])
+			}
+		}
+		if got, wantNext := b.Int63(), a.Int63(); got != wantNext {
+			t.Fatalf("n=%d: draw count diverged (next draw %d != %d)", n, got, wantNext)
+		}
+	}
+}
+
+func TestPermIntoReusesBacking(t *testing.T) {
+	buf := make([]int, 0, 64)
+	out := PermInto(New(3), buf, 64)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("PermInto allocated despite sufficient capacity")
+	}
+	out2 := PermInto(New(3), out, 16)
+	if len(out2) != 16 || &out2[0] != &out[0] {
+		t.Fatal("PermInto did not reuse backing for a smaller permutation")
+	}
+}
+
 func TestSplitMix64KnownVectors(t *testing.T) {
 	// Reference outputs for state 0 and 1 from the canonical SplitMix64
 	// implementation (Vigna). Guards against silent constant typos.

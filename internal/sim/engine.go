@@ -130,32 +130,59 @@ func WithCollisionModel(m CollisionModel) Option {
 // tie-breaking; protocols are expected to derive their own streams from the
 // same root seed via package rng.
 func NewEngine(asn Assignment, nodes []Protocol, seed int64, opts ...Option) (*Engine, error) {
+	e := &Engine{}
+	if err := e.Reset(asn, nodes, seed, opts...); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-initializes the engine over a new assignment, protocol set and
+// seed, exactly as NewEngine would — observer and collision model return to
+// their defaults before opts apply, and the tie-break stream restarts at the
+// derived seed — but the dense per-channel scratch, action buffer and
+// generator source are kept, so a trial arena resetting an engine between
+// trials allocates nothing once the scratch has grown to the largest shape
+// seen. Executions after a Reset are byte-identical to those of a fresh
+// engine.
+func (e *Engine) Reset(asn Assignment, nodes []Protocol, seed int64, opts ...Option) error {
 	if asn == nil {
-		return nil, errors.New("sim: nil assignment")
+		return errors.New("sim: nil assignment")
 	}
 	if got, want := len(nodes), asn.Nodes(); got != want {
-		return nil, fmt.Errorf("sim: got %d protocols for %d nodes", got, want)
+		return fmt.Errorf("sim: got %d protocols for %d nodes", got, want)
 	}
 	for i, p := range nodes {
 		if p == nil {
-			return nil, fmt.Errorf("sim: protocol for node %d is nil", i)
+			return fmt.Errorf("sim: protocol for node %d is nil", i)
 		}
 	}
+	// Clear buckets left by a previous run before any reshaping: active
+	// indexes the old scratch.
+	e.touchReset()
+	e.asn = asn
+	e.nodes = nodes
+	if e.rand == nil {
+		e.rand = rng.New(seed, int64(len(nodes)), 0x5e5)
+	} else {
+		rng.Reseed(e.rand, seed, int64(len(nodes)), 0x5e5)
+	}
+	e.collisions = UniformWinner
+	e.slot = 0
+	e.obs = nil
+	if cap(e.acts) < len(nodes) {
+		e.acts = make([]Action, len(nodes))
+	}
+	e.acts = e.acts[:len(nodes)]
 	c := asn.Channels()
-	e := &Engine{
-		asn:     asn,
-		nodes:   nodes,
-		rand:    rng.New(seed, int64(len(nodes)), 0x5e5),
-		acts:    make([]Action, len(nodes)),
-		bcast:   make([][]NodeID, c),
-		listen:  make([][]NodeID, c),
-		touched: make([]bool, c),
-		active:  make([]int, 0, c),
+	e.growScratch(c)
+	if cap(e.active) < c {
+		e.active = make([]int, 0, c)
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
-	return e, nil
+	return nil
 }
 
 // Slot returns the number of slots executed so far.
@@ -324,13 +351,13 @@ func (e *Engine) deliver(id NodeID, slot int, ev Event) {
 }
 
 // growScratch extends the dense per-channel scratch to cover at least n
-// physical channels — only taken when an assignment hands out an index at or
-// above the asn.Channels() it advertised at construction.
+// physical channels — taken at Reset time and when an assignment hands out
+// an index at or above the asn.Channels() it advertised at construction.
 func (e *Engine) growScratch(n int) {
-	for len(e.bcast) < n {
-		e.bcast = append(e.bcast, nil)
-		e.listen = append(e.listen, nil)
-		e.touched = append(e.touched, false)
+	if short := n - len(e.bcast); short > 0 {
+		e.bcast = append(e.bcast, make([][]NodeID, short)...)
+		e.listen = append(e.listen, make([][]NodeID, short)...)
+		e.touched = append(e.touched, make([]bool, short)...)
 	}
 }
 
