@@ -6,7 +6,10 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick clean
+.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick fuzz cover clean
+
+# Per-target fuzzing budget for `make fuzz`.
+FUZZTIME ?= 30s
 
 all: check
 
@@ -53,5 +56,24 @@ baseline:
 baseline-quick:
 	$(GO) run ./cmd/cogbench -quick -parallel 1 -bench-out BENCH_quick_baseline.json > /dev/null
 
+# Run every native fuzz target for FUZZTIME each (go test allows one -fuzz
+# pattern per package invocation). Seed corpora live under each package's
+# testdata/fuzz/ and also run as plain tests in `make test`.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzBuilder -fuzztime $(FUZZTIME) ./internal/assign
+	$(GO) test -run NONE -fuzz FuzzEngineSlot -fuzztime $(FUZZTIME) ./internal/sim
+
+# Coverage gate: aggregate statement coverage across all packages must stay
+# above the threshold (see TESTING.md). Writes cover.out for inspection
+# with `go tool cover -html=cover.out`.
+COVER_THRESHOLD ?= 80
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./... > /dev/null
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (threshold $(COVER_THRESHOLD)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_THRESHOLD))}" || \
+		{ echo "coverage $$total% below threshold $(COVER_THRESHOLD)%"; exit 1; }
+
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

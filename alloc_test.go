@@ -5,6 +5,7 @@ import (
 
 	"github.com/cogradio/crn/internal/assign"
 	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/invariant"
 	"github.com/cogradio/crn/internal/metrics"
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/trace"
@@ -132,5 +133,60 @@ func TestTraceRingAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("ring-traced steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
+	}
+}
+
+// TestCheckerObservedAllocFree pins the invariant oracle's warm-path cost:
+// a steady-state engine with the checker attached must not allocate per
+// slot. The checker's scratch (participation stamps, winner tallies) grows
+// lazily during warm-up and is then reused; only the violation path — which
+// a healthy run never takes — formats errors.
+func TestCheckerObservedAllocFree(t *testing.T) {
+	const n, c = 256, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := new(invariant.Checker)
+	ck.Reset(asn, sim.UniformWinner)
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	eng, err := sim.NewEngine(asn, protos, 1, sim.WithObserver(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ { // warm both engine scratch and checker tallies
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("checked steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("oracle violation on a healthy run: %v", err)
+	}
+}
+
+// TestCheckerDisabledAllocFree reaffirms the opt-in contract after the
+// invariant wiring landed in the protocol runners: with Check off nothing
+// is attached to the engine and the slot path stays the pinned
+// zero-allocation loop.
+func TestCheckerDisabledAllocFree(t *testing.T) {
+	eng := steadyStateEngine(t)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("unchecked steady-state RunSlot allocates %.2f objects/slot, want 0", allocs)
 	}
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validReport returns a minimal well-formed -bench-out file for pairing
+// with a broken one, so the error under test is the broken file's.
+func validReport(t *testing.T) string {
+	t.Helper()
+	return writeReport(t, "ok.json", benchReport{
+		TotalWallMS: 100,
+		Experiments: []benchRecord{{ID: "E1", WallMS: 100, Allocs: 10, Bytes: 40}},
+	})
+}
+
+func TestCompareMalformedJSON(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{\"experiments\": [truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-compare", bad, validReport(t)}, &out)
+	if err == nil {
+		t.Fatal("malformed old report accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+	err = run([]string{"-compare", validReport(t), bad}, &out)
+	if err == nil {
+		t.Fatal("malformed new report accepted")
+	}
+}
+
+func TestCompareRejectsEmptyReport(t *testing.T) {
+	// Valid JSON, but not a -bench-out report: no experiments key at all.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-compare", empty, validReport(t)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no experiments") {
+		t.Errorf("empty report: err = %v, want 'no experiments'", err)
+	}
+}
+
+func TestCompareRejectsRecordWithoutID(t *testing.T) {
+	noID := writeReport(t, "noid.json", benchReport{
+		TotalWallMS: 100,
+		Experiments: []benchRecord{{WallMS: 100, Allocs: 10}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", validReport(t), noID}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no id") {
+		t.Errorf("id-less record: err = %v, want 'no id'", err)
+	}
+}
+
+func TestCompareLimitFlagParseError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "-wall-limit", "fast", "a.json", "b.json"}, &out); err == nil {
+		t.Error("unparseable -wall-limit accepted")
+	}
+	if err := run([]string{"-compare", "-alloc-limit", "1.2.3", "a.json", "b.json"}, &out); err == nil {
+		t.Error("unparseable -alloc-limit accepted")
+	}
+}
+
+// TestHelperProcess re-executes this test binary as the cogbench command:
+// the exit-code tests below spawn it with COGBENCH_HELPER=1 and the real
+// argv after "--", so they observe main's actual os.Exit status.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("COGBENCH_HELPER") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Args = append([]string{"cogbench"}, args...)
+	main()
+	os.Exit(0)
+}
+
+// runAsCommand spawns the helper process with the given cogbench args and
+// returns its exit code.
+func runAsCommand(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "COGBENCH_HELPER=1")
+	err := cmd.Run()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("helper process failed to start: %v", err)
+	return -1
+}
+
+func TestCompareExitCodes(t *testing.T) {
+	good := validReport(t)
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A regressed pair: new report quadruples E1's allocations.
+	regressed := writeReport(t, "regressed.json", benchReport{
+		TotalWallMS: 100,
+		Experiments: []benchRecord{{ID: "E1", WallMS: 100, Allocs: 40, Bytes: 160}},
+	})
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean comparison", []string{"-compare", good, good}, 0},
+		{"malformed json", []string{"-compare", bad, good}, 1},
+		{"missing file", []string{"-compare", good, filepath.Join(t.TempDir(), "missing.json")}, 1},
+		{"one positional arg", []string{"-compare", good}, 1},
+		{"limit parse error", []string{"-compare", "-alloc-limit", "plenty", good, good}, 1},
+		{"alloc regression", []string{"-compare", good, regressed}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runAsCommand(t, c.args...); got != c.want {
+				t.Errorf("exit code %d, want %d", got, c.want)
+			}
+		})
+	}
+}

@@ -73,6 +73,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		seed     = fs.Int64("seed", 42, "root seed")
 		trials   = fs.Int("trials", 0, "trials per parameter point (0 = default)")
 		quick    = fs.Bool("quick", false, "reduced sweeps")
+		check    = fs.Bool("check", false, "replay every trial under the invariant oracle (package invariant); tables are unchanged, any violation fails the experiment")
 		format   = fs.String("format", "text", "output format: text, markdown or csv")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
@@ -135,7 +136,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		report.Parallel = parallel.DefaultWorkers()
 	}
 
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers}
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check}
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -228,6 +229,14 @@ func readReport(path string) (*benchReport, error) {
 	var r benchReport
 	if err := json.Unmarshal(blob, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: report has no experiments (not a -bench-out file?)", path)
+	}
+	for i, rec := range r.Experiments {
+		if rec.ID == "" {
+			return nil, fmt.Errorf("%s: experiment %d has no id", path, i)
+		}
 	}
 	return &r, nil
 }

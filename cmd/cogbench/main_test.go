@@ -209,3 +209,17 @@ func TestErrors(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+func TestCheckFlagIdenticalTables(t *testing.T) {
+	// The invariant oracle observes; it must never change a table.
+	var plain, checked bytes.Buffer
+	if err := run([]string{"-exp", "E3", "-quick", "-trials", "2", "-format", "csv"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "E3", "-quick", "-trials", "2", "-format", "csv", "-check"}, &checked); err != nil {
+		t.Fatalf("checked run failed: %v", err)
+	}
+	if plain.String() != checked.String() {
+		t.Errorf("-check changed tables:\n--- checked ---\n%s--- plain ---\n%s", checked.String(), plain.String())
+	}
+}

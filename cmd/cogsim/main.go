@@ -55,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		rounds   = fs.Int("rounds", 3, "reporting rounds for the session protocol")
 		rumors   = fs.Int("rumors", 4, "rumor count for the gossip protocol")
 		maxSlots = fs.Int("max-slots", 0, "slot budget (0 = automatic)")
+		check    = fs.Bool("check", false, "run under the invariant oracle: re-verify every slot, the distribution tree, census and aggregate (cogcast, cogcomp, session)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
 		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints per-repetition lines and a slot-count summary")
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
@@ -80,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		topology: *topology, labels: *labels, dynamic: *dynamic,
 		jam: *jam, jamK: *jamK, seed: *seed, source: *source, agg: *agg,
 		rounds: *rounds, rumors: *rumors, maxSlots: *maxSlots, curve: *curve,
-		repeat: *repeat, workers: *workers, traceTo: *traceTo,
+		repeat: *repeat, workers: *workers, traceTo: *traceTo, check: *check,
 	})
 	if serr := stop(); err == nil {
 		err = serr
@@ -103,6 +104,7 @@ type options struct {
 	curve                    bool
 	repeat, workers          int
 	traceTo                  string
+	check                    bool
 }
 
 func runProtocol(out io.Writer, o options) error {
@@ -152,11 +154,16 @@ func runProtocol(out io.Writer, o options) error {
 	}
 	defer closeTrace()
 
+	if o.check && o.protocol != "cogcast" && o.protocol != "cogcomp" && o.protocol != "session" {
+		return fmt.Errorf("-check supports cogcast, cogcomp and session, not %q", o.protocol)
+	}
+
 	switch o.protocol {
 	case "cogcast":
 		opts := crn.BroadcastOptions{
 			Source: o.source, Payload: "INIT", Seed: o.seed,
 			RunToCompletion: true, MaxSlots: budget, Trajectory: o.curve,
+			Check: o.check,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -185,6 +192,7 @@ func runProtocol(out io.Writer, o options) error {
 		}
 		opts := crn.AggregateOptions{
 			Source: o.source, Func: o.agg, Seed: o.seed, MaxSlots: o.maxSlots,
+			Check: o.check,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -211,7 +219,7 @@ func runProtocol(out io.Writer, o options) error {
 			}
 		}
 		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
-			Source: o.source, Func: o.agg, Seed: o.seed,
+			Source: o.source, Func: o.agg, Seed: o.seed, Check: o.check,
 		})
 		if err != nil {
 			return err
@@ -325,7 +333,7 @@ func runRepeated(out io.Writer, o options, budget int) error {
 		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
 			res, err := net.Broadcast(crn.BroadcastOptions{
 				Source: o.source, Payload: "INIT", Seed: trialSeed,
-				RunToCompletion: true, MaxSlots: budget,
+				RunToCompletion: true, MaxSlots: budget, Check: o.check,
 			})
 			if err != nil {
 				return 0, err
@@ -343,6 +351,7 @@ func runRepeated(out io.Writer, o options, budget int) error {
 			}
 			res, err := net.Aggregate(inputs, crn.AggregateOptions{
 				Source: o.source, Func: o.agg, Seed: trialSeed, MaxSlots: o.maxSlots,
+				Check: o.check,
 			})
 			if err != nil {
 				return 0, err

@@ -204,3 +204,32 @@ func TestCurveFlag(t *testing.T) {
 		t.Errorf("output = %q", out)
 	}
 }
+
+func TestCheckFlag(t *testing.T) {
+	// Output under the oracle must be byte-identical to an unchecked run.
+	base := []string{"-protocol", "cogcast", "-n", "24", "-c", "6", "-k", "2"}
+	plain := runOK(t, base...)
+	checked := runOK(t, append([]string{"-check"}, base...)...)
+	if plain != checked {
+		t.Errorf("-check changed output:\n--- checked ---\n%s--- plain ---\n%s", checked, plain)
+	}
+
+	out := runOK(t, "-check", "-protocol", "cogcomp", "-n", "16", "-c", "4", "-k", "2", "-agg", "stats")
+	if !strings.Contains(out, "cogcomp:") {
+		t.Errorf("checked cogcomp output = %q", out)
+	}
+	out = runOK(t, "-check", "-protocol", "session", "-n", "16", "-c", "4", "-k", "2", "-rounds", "2")
+	if !strings.Contains(out, "session: 2 rounds") {
+		t.Errorf("checked session output = %q", out)
+	}
+	out = runOK(t, "-check", "-protocol", "cogcast", "-n", "16", "-c", "4", "-k", "2", "-repeat", "4")
+	if !strings.Contains(out, "cogcast x4:") {
+		t.Errorf("checked repeat output = %q", out)
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{"-check", "-protocol", "gossip"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-check supports") {
+		t.Errorf("-check with gossip: err = %v", err)
+	}
+}

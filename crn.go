@@ -239,6 +239,12 @@ type BroadcastOptions struct {
 	// injections. The schema is documented in TRACE.md. Tracing does not
 	// change the run's results. Buffer the writer for large runs.
 	Trace io.Writer
+	// Check runs the invariant oracle alongside the protocol: the
+	// assignment's overlap contract, every slot's collision resolution,
+	// and the resulting distribution tree are independently re-verified,
+	// and any violation fails the run. Results are unchanged; runs are
+	// slower. Zero cost when false.
+	Check bool
 }
 
 // BroadcastResult reports a Broadcast run.
@@ -280,6 +286,7 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		MaxSlots:         opts.MaxSlots,
 		Trajectory:       opts.Trajectory,
 		UntilAllInformed: opts.RunToCompletion,
+		Check:            opts.Check,
 	}
 	var collector *metrics.Collector
 	if opts.CollectMetrics {
@@ -372,6 +379,11 @@ type AggregateOptions struct {
 	// and the final cluster census. The schema is documented in TRACE.md.
 	// Tracing does not change the run's results.
 	Trace io.Writer
+	// Check runs the invariant oracle alongside the protocol: assignment
+	// contract, per-slot collision resolution, distribution tree, cluster
+	// census, and the aggregate against directly-computed ground truth.
+	// Any violation fails the run. Zero cost when false.
+	Check bool
 }
 
 // AggregateResult reports an Aggregate run.
@@ -424,6 +436,7 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 		Kappa:    opts.Kappa,
 		MaxSlots: opts.MaxSlots,
 		Func:     f,
+		Check:    opts.Check,
 	}
 	var sink *trace.JSONL
 	if opts.Trace != nil {
@@ -499,7 +512,9 @@ func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*Se
 	if err != nil {
 		return nil, err
 	}
-	res, err := cogcomp.RunRounds(nw.asn, sim.NodeID(opts.Source), rounds, opts.Seed, cogcomp.SessionConfig{
+	var arena cogcomp.Arena
+	arena.SetCheck(opts.Check)
+	res, err := arena.RunRounds(nw.asn, sim.NodeID(opts.Source), rounds, opts.Seed, cogcomp.SessionConfig{
 		Kappa: opts.Kappa,
 		Func:  f,
 	})

@@ -1,6 +1,7 @@
 package aggfunc
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -143,5 +144,54 @@ func TestMergeDoesNotMutateCollectArguments(t *testing.T) {
 	_ = f.Merge(x, y)
 	if len(x.([]Entry)) != 1 || len(y.([]Entry)) != 1 {
 		t.Error("merge mutated its arguments")
+	}
+}
+
+// TestOverflowSemantics pins the package's behavior at the int64 edges:
+// partial sums wrap with two's-complement semantics (Go's defined integer
+// overflow), and min/max and the Stats moments remain exact at the
+// extremes. The protocols do not guard against overflow — an aggregation
+// over inputs summing beyond int64 wraps silently — so the behavior is
+// pinned here to make that contract visible.
+func TestOverflowSemantics(t *testing.T) {
+	const maxI, minI = int64(math.MaxInt64), int64(math.MinInt64)
+
+	if got := Fold(Sum{}, []int64{maxI, 1}); got != Value(minI) {
+		t.Errorf("MaxInt64 + 1 = %v, want two's-complement wrap to MinInt64", got)
+	}
+	if got := Fold(Sum{}, []int64{minI, -1}); got != Value(maxI) {
+		t.Errorf("MinInt64 - 1 = %v, want wrap to MaxInt64", got)
+	}
+	if got := Fold(Sum{}, []int64{maxI, minI}); got != Value(int64(-1)) {
+		t.Errorf("MaxInt64 + MinInt64 = %v, want -1", got)
+	}
+
+	if got := Fold(Min{}, []int64{maxI, minI, 0}); got != Value(minI) {
+		t.Errorf("min over extremes = %v, want MinInt64", got)
+	}
+	if got := Fold(Max{}, []int64{minI, maxI, 0}); got != Value(maxI) {
+		t.Errorf("max over extremes = %v, want MaxInt64", got)
+	}
+
+	sv := Fold(Stats{}, []int64{maxI, maxI}).(StatsValue)
+	if sv.Count != 2 || sv.Min != maxI || sv.Max != maxI {
+		t.Errorf("stats moments at the edge = %+v", sv)
+	}
+	if sv.Sum != -2 {
+		t.Errorf("stats sum 2·MaxInt64 = %d, want wrapped -2", sv.Sum)
+	}
+	// The wrapped Sum poisons the Mean — pinned so a future guard is a
+	// deliberate change.
+	if m := sv.Mean(); m != -1 {
+		t.Errorf("mean of wrapped sum = %v, want -1", m)
+	}
+}
+
+// TestCountSaturation pins that Count is immune to input magnitude: its
+// value depends only on the number of participants.
+func TestCountSaturation(t *testing.T) {
+	inputs := []int64{math.MaxInt64, math.MinInt64, 0, -1}
+	if got := Fold(Count{}, inputs); got != Value(int64(len(inputs))) {
+		t.Errorf("count = %v, want %d", got, len(inputs))
 	}
 }

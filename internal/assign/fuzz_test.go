@@ -1,0 +1,75 @@
+package assign_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/invariant"
+)
+
+// FuzzBuilder throws arbitrary parameters at every assignment generator
+// and pins the k-overlap contract with the independent oracle: whatever a
+// generator accepts, the resulting assignment must satisfy the model —
+// per-node sets of at most c distinct in-range channels with pairwise
+// overlap at least k (invariant.CheckAssignment re-derives membership
+// with maps, sharing no code with assign's bitmap validation). Rejected
+// parameters (error returns) are fine; building a broken Static is not.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint8(0), uint8(16), uint8(4), uint8(2), uint8(0), false, int64(1))
+	f.Add(uint8(1), uint8(32), uint8(8), uint8(2), uint8(0), true, int64(7))
+	f.Add(uint8(2), uint8(24), uint8(6), uint8(3), uint8(40), false, int64(42))
+	f.Add(uint8(3), uint8(5), uint8(12), uint8(2), uint8(0), true, int64(3))
+	f.Add(uint8(4), uint8(48), uint8(4), uint8(1), uint8(64), false, int64(9))
+	f.Add(uint8(5), uint8(20), uint8(6), uint8(2), uint8(0), true, int64(11))
+	f.Add(uint8(6), uint8(16), uint8(4), uint8(2), uint8(24), false, int64(5))
+	f.Fuzz(func(t *testing.T, gen, rawN, rawC, rawK, rawTotal uint8, global bool, seed int64) {
+		// uint8 inputs keep instances bounded (the oracle's overlap scan is
+		// O(n²·c)) while still reaching every validation branch: generators
+		// must reject bad parameters rather than build broken assignments.
+		n := int(rawN)
+		c := int(rawC)
+		k := int(rawK)
+		total := int(rawTotal)
+		model := assign.LocalLabels
+		if global {
+			model = assign.GlobalLabels
+		}
+		var b assign.Builder
+		checkStatic := func(s *assign.Static, err error) {
+			if err != nil {
+				return // generator rejected the parameters: acceptable
+			}
+			if verr := invariant.CheckAssignment(s, 0); verr != nil {
+				t.Fatalf("generator %d accepted n=%d c=%d k=%d total=%d seed=%d but built a broken assignment: %v",
+					gen%7, n, c, k, total, seed, verr)
+			}
+		}
+		switch gen % 7 {
+		case 0:
+			checkStatic(b.FullOverlap(n, c, model, seed))
+		case 1:
+			checkStatic(b.Partitioned(n, c, k, model, seed))
+		case 2:
+			checkStatic(b.SharedCore(n, c, k, total, model, seed))
+		case 3:
+			checkStatic(b.PairwiseDedicated(n, c, k, model, seed))
+		case 4:
+			checkStatic(b.RandomPool(n, c, k, total, model, seed))
+		case 5:
+			checkStatic(b.TwoSet(n, c, k, model, seed))
+		case 6:
+			d, err := assign.NewDynamic(n, c, k, total, seed)
+			if err != nil {
+				return
+			}
+			// Dynamic re-draws sets per slot; the contract must hold in
+			// every slot, not just the first.
+			for slot := 0; slot < 4; slot++ {
+				if verr := invariant.CheckAssignment(d, slot); verr != nil {
+					t.Fatalf("dynamic assignment n=%d c=%d k=%d total=%d seed=%d breaks the contract at slot %d: %v",
+						n, c, k, total, seed, slot, verr)
+				}
+			}
+		}
+	})
+}

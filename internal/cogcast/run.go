@@ -3,6 +3,7 @@ package cogcast
 import (
 	"fmt"
 
+	"github.com/cogradio/crn/internal/invariant"
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/trace"
 )
@@ -46,6 +47,12 @@ type RunConfig struct {
 	// (TRACE.md): per-slot channel outcomes plus epidemic progress and
 	// per-node informed events. Nil disables tracing at zero cost.
 	Trace trace.Sink
+	// Check attaches the invariant oracle: the assignment's k-overlap
+	// contract is re-verified, every slot's channel outcomes are re-checked
+	// against the collision model, and the resulting distribution tree is
+	// validated. A violation fails the run. Disabled (the default) it costs
+	// nothing; see package invariant.
+	Check bool
 }
 
 // Arena holds the reusable pieces of a COGCAST execution — nodes, their
@@ -59,7 +66,20 @@ type Arena struct {
 	eng         *sim.Engine
 	wasInformed []bool
 	opts        []sim.Option
+	forceCheck  bool
+	checker     *invariant.Checker
 }
+
+// SetCheck forces invariant checking for every subsequent Run on this
+// arena, regardless of RunConfig.Check — how the experiment harness turns
+// one -check flag into oracle coverage of every trial without threading a
+// flag through each run-configuration site.
+func (a *Arena) SetCheck(on bool) { a.forceCheck = on }
+
+// Checker returns the arena's invariant checker, non-nil once a checked
+// run has happened. Its winner-uniformity tallies pool across all of the
+// arena's checked runs (see invariant.Checker.Uniformity).
+func (a *Arena) Checker() *invariant.Checker { return a.checker }
 
 // Nodes exposes the per-node protocol state of the most recent Run; entry i
 // is valid until the arena's next trial. COGCOMP's phases read these.
@@ -105,10 +125,21 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, 
 		maxSlots = SlotBound(n, asn.PerNode(), asn.MinOverlap(), DefaultKappa)
 	}
 
+	check := cfg.Check || a.forceCheck
 	a.opts = append(a.opts[:0], sim.WithCollisionModel(cfg.Collisions))
 	obs := cfg.Observer
 	if cfg.Trace != nil {
 		obs = sim.Tee(obs, trace.NewRecorder(cfg.Trace))
+	}
+	if check {
+		if err := invariant.CheckAssignment(asn, 0); err != nil {
+			return nil, fmt.Errorf("cogcast: %w", err)
+		}
+		if a.checker == nil {
+			a.checker = new(invariant.Checker)
+		}
+		a.checker.Reset(asn, cfg.Collisions)
+		obs = sim.Tee(obs, a.checker)
 	}
 	if obs != nil {
 		a.opts = append(a.opts, sim.WithObserver(obs))
@@ -176,6 +207,14 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, 
 	for i, nd := range nodes {
 		res.Parents[i] = nd.Parent()
 		res.InformedSlots[i] = nd.InformedSlot()
+	}
+	if check {
+		if err := a.checker.Err(); err != nil {
+			return nil, fmt.Errorf("cogcast: slot oracle (%d violations): %w", a.checker.Violations(), err)
+		}
+		if err := invariant.CheckBroadcastTree(n, source, res.Parents, res.InformedSlots, res.AllInformed); err != nil {
+			return nil, fmt.Errorf("cogcast: %w", err)
+		}
 	}
 	return res, nil
 }

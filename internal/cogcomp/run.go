@@ -6,6 +6,7 @@ import (
 
 	"github.com/cogradio/crn/internal/aggfunc"
 	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/invariant"
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/trace"
 )
@@ -31,6 +32,12 @@ type Config struct {
 	// event with the informed count and elected mediators. Nil disables
 	// tracing at zero cost.
 	Trace trace.Sink
+	// Check attaches the invariant oracle: the assignment contract, every
+	// slot's channel outcomes, the phase-one distribution tree, the
+	// cluster census, and — on complete runs — the aggregate value against
+	// aggfunc.Fold ground truth. A violation fails the run. Disabled (the
+	// default) it costs nothing; see package invariant.
+	Check bool
 }
 
 // Result reports one COGCOMP execution.
@@ -63,11 +70,22 @@ type Result struct {
 // RunRounds. Arenas are not safe for concurrent use: parallel trial runners
 // keep one per worker.
 type Arena struct {
-	nodes   []*Node
-	protos  []sim.Protocol
-	eng     *sim.Engine
-	engOpts []sim.Option
+	nodes      []*Node
+	protos     []sim.Protocol
+	eng        *sim.Engine
+	engOpts    []sim.Option
+	forceCheck bool
+	checker    *invariant.Checker
+	infSlots   []int
 }
+
+// SetCheck forces invariant checking for every subsequent Run on this
+// arena, regardless of Config.Check (see cogcast.Arena.SetCheck).
+func (a *Arena) SetCheck(on bool) { a.forceCheck = on }
+
+// Checker returns the arena's invariant checker, non-nil once a checked
+// run has happened.
+func (a *Arena) Checker() *invariant.Checker { return a.checker }
 
 // build (re)initializes n nodes and the engine for one execution.
 func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input func(i int) int64, f aggfunc.Func, seed int64, engOpts []sim.Option) error {
@@ -121,9 +139,24 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 		maxSlots = (2*l + n) + 6*(n+l) + 96
 	}
 
+	check := cfg.Check || a.forceCheck
 	a.engOpts = a.engOpts[:0]
+	var obs sim.Observer
 	if cfg.Trace != nil {
-		a.engOpts = append(a.engOpts, sim.WithObserver(trace.NewRecorder(cfg.Trace)))
+		obs = trace.NewRecorder(cfg.Trace)
+	}
+	if check {
+		if err := invariant.CheckAssignment(asn, 0); err != nil {
+			return nil, fmt.Errorf("cogcomp: %w", err)
+		}
+		if a.checker == nil {
+			a.checker = new(invariant.Checker)
+		}
+		a.checker.Reset(asn, sim.UniformWinner)
+		obs = sim.Tee(obs, a.checker)
+	}
+	if obs != nil {
+		a.engOpts = append(a.engOpts, sim.WithObserver(obs))
 	}
 	if err := a.build(asn, source, n, l, func(i int) int64 { return inputs[i] }, f, seed, a.engOpts); err != nil {
 		return nil, err
@@ -170,6 +203,30 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	res.Complete = informed == n
 	if cfg.Trace != nil {
 		cfg.Trace.Emit(trace.CensusEvent(total, informed, res.Mediators))
+	}
+	if check {
+		if err := a.checker.Err(); err != nil {
+			return nil, fmt.Errorf("cogcomp: slot oracle (%d violations): %w", a.checker.Violations(), err)
+		}
+		if cap(a.infSlots) < n {
+			a.infSlots = make([]int, n)
+		}
+		a.infSlots = a.infSlots[:n]
+		for i, nd := range nodes {
+			a.infSlots[i] = nd.InformedSlot()
+		}
+		if err := invariant.CheckBroadcastTree(n, source, res.Parents, a.infSlots, res.Complete); err != nil {
+			return nil, fmt.Errorf("cogcomp: %w", err)
+		}
+		if err := invariant.CheckCensus(n, asn.Channels(), informed, res.Mediators, res.Complete); err != nil {
+			return nil, fmt.Errorf("cogcomp: %w", err)
+		}
+		if res.Complete {
+			if want := aggfunc.Fold(f, inputs); !invariant.AggEqual(res.Value, want) {
+				return nil, fmt.Errorf("cogcomp: aggregate %v diverges from ground truth %v (%s over n=%d)",
+					res.Value, want, f.Name(), n)
+			}
+		}
 	}
 	if !res.Complete {
 		return res, ErrIncomplete

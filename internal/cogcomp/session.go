@@ -6,6 +6,7 @@ import (
 
 	"github.com/cogradio/crn/internal/aggfunc"
 	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/invariant"
 	"github.com/cogradio/crn/internal/sim"
 )
 
@@ -90,7 +91,18 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 		roundSteps = n + l + 16
 	}
 
-	if err := a.build(asn, source, n, l, func(i int) int64 { return rounds[0][i] }, f, seed, nil); err != nil {
+	a.engOpts = a.engOpts[:0]
+	if a.forceCheck {
+		if err := invariant.CheckAssignment(asn, 0); err != nil {
+			return nil, fmt.Errorf("cogcomp: %w", err)
+		}
+		if a.checker == nil {
+			a.checker = new(invariant.Checker)
+		}
+		a.checker.Reset(asn, sim.UniformWinner)
+		a.engOpts = append(a.engOpts, sim.WithObserver(a.checker))
+	}
+	if err := a.build(asn, source, n, l, func(i int) int64 { return rounds[0][i] }, f, seed, a.engOpts); err != nil {
 		return nil, err
 	}
 	nodes := a.nodes
@@ -122,6 +134,20 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 		SetupSlots:  setup,
 		RoundSlots:  3 * roundSteps,
 		FinishSteps: src.finishSteps,
+	}
+	if a.forceCheck {
+		if err := a.checker.Err(); err != nil {
+			return nil, fmt.Errorf("cogcomp: slot oracle (%d violations): %w", a.checker.Violations(), err)
+		}
+		for r := range res.Values {
+			if !res.Complete[r] {
+				continue
+			}
+			if want := aggfunc.Fold(f, rounds[r]); !invariant.AggEqual(res.Values[r], want) {
+				return nil, fmt.Errorf("cogcomp: round %d aggregate %v diverges from ground truth %v (%s over n=%d)",
+					r, res.Values[r], want, f.Name(), n)
+			}
+		}
 	}
 	for r := range res.Complete {
 		if !res.Complete[r] {

@@ -1,0 +1,267 @@
+// Package conform checks measured protocol behavior against the paper's
+// theorem bound *shapes*. Where package exper reproduces the paper's
+// claims as rendered tables for a human reader, conform turns two of them
+// into machine-checked statistical assertions at fixed seeds:
+//
+//   - Theorem 4: COGCAST completes in O((c/k)·max{1, c/n}·lg n) slots
+//     w.h.p. Measured median completion slots, regressed against the
+//     predictor in log–log space, must fit a power law with exponent near
+//     1 (the measurement scales as the predictor, not a higher power) and
+//     a bounded leading ratio (the hidden constant does not drift).
+//
+//   - Theorem 10: COGCOMP completes aggregation in O((c/k)·max{1, c/n}·
+//     lg n + n) slots w.h.p. — the same shape plus an additive n for the
+//     census and convergecast phases. Measured total slots must track the
+//     "+ n" predictor the same way.
+//
+// Sweeps run over the partitioned topology (the proof of Theorem 16's
+// tight instance: every pair overlaps on exactly k channels), so the
+// measured constants sit close to the bound rather than far below it.
+// Trials reuse the protocols' arenas across a parallel.MapArena worker
+// pool with per-trial seeds derived from the point and trial indices
+// alone — reports are byte-identical at any worker count.
+package conform
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/cogcomp"
+	"github.com/cogradio/crn/internal/parallel"
+	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/stats"
+)
+
+// Point is one parameter setting of a sweep: n nodes with c channels each
+// and pairwise overlap at least k. The total channel count follows from
+// the partitioned construction (C = k + n·(c−k)).
+type Point struct {
+	N, C, K int
+}
+
+// Predictor returns Theorem 4's bound shape (c/k)·max{1, c/n}·lg n for
+// the point, without the hidden constant.
+func (p Point) Predictor() float64 {
+	return float64(p.C) / float64(p.K) *
+		math.Max(1, float64(p.C)/float64(p.N)) *
+		math.Log2(float64(p.N))
+}
+
+// Sweep configures a conformance run.
+type Sweep struct {
+	// Points are the parameter settings to measure. Each point must have
+	// n >= 2 and 1 <= k <= c.
+	Points []Point
+	// Trials is the number of independent repetitions per point (>= 1).
+	Trials int
+	// Seed roots all randomness; identical sweeps reproduce identical
+	// reports.
+	Seed int64
+	// Workers bounds trial parallelism (0 = GOMAXPROCS). Reports are
+	// identical for every value.
+	Workers int
+}
+
+// PointResult is one point's measurement.
+type PointResult struct {
+	Point
+	// Predictor is the theorem's bound shape evaluated at the point.
+	Predictor float64
+	// MedianSlots is the median completion slot count over the trials.
+	MedianSlots float64
+	// Ratio is MedianSlots / Predictor — the measured leading constant.
+	Ratio float64
+}
+
+// Report is the outcome of a sweep: the per-point measurements and the
+// log–log power-law fit of median slots against the predictor.
+type Report struct {
+	// Fit is the power-law fit MedianSlots ≈ Coeff·Predictor^Exponent.
+	Fit stats.PowerLaw
+	// Points holds the per-point measurements in sweep order.
+	Points []PointResult
+	// MinRatio and MaxRatio bound the measured leading constants.
+	MinRatio, MaxRatio float64
+}
+
+// Tolerance bounds how far a Report may drift from the theorem shape
+// before Check fails. A zero field disables its check, so a ratio-only
+// tolerance is Tolerance{MaxRatio: 8} — used for regimes whose n span is
+// too small for a meaningful shape fit.
+type Tolerance struct {
+	// ExponentLow and ExponentHigh bound the fitted power-law exponent.
+	// A conforming measurement scales linearly in the predictor, so the
+	// band brackets 1. ExponentHigh zero disables the band.
+	ExponentLow, ExponentHigh float64
+	// MinR2 is the minimum coefficient of determination of the log–log
+	// fit: the predictor must explain the measurement, not merely
+	// correlate with it. Zero disables.
+	MinR2 float64
+	// MaxRatio caps every point's measured leading constant
+	// (median slots per predictor unit). Zero disables.
+	MaxRatio float64
+}
+
+// DefaultTolerance returns the band used by the conformance tests:
+// exponent within [0.75, 1.25] of linear, R² at least 0.9, and a leading
+// constant below 16 (DefaultKappa is 4, and the tight partitioned
+// instance runs within a small multiple of the bound).
+func DefaultTolerance() Tolerance {
+	return Tolerance{ExponentLow: 0.75, ExponentHigh: 1.25, MinR2: 0.9, MaxRatio: 16}
+}
+
+// Check verifies the report against the tolerance. The returned error
+// names the first violated bound.
+func (r *Report) Check(tol Tolerance) error {
+	if tol.ExponentHigh > 0 {
+		if got := r.Fit.Exponent; got < tol.ExponentLow || got > tol.ExponentHigh {
+			return fmt.Errorf("conform: fitted exponent %.3f outside [%.2f, %.2f] (coeff %.2f, R²=%.3f)",
+				got, tol.ExponentLow, tol.ExponentHigh, r.Fit.Coeff, r.Fit.R2)
+		}
+	}
+	if tol.MinR2 > 0 && r.Fit.R2 < tol.MinR2 {
+		return fmt.Errorf("conform: log–log fit R² %.3f below %.2f: predictor does not explain the measurement",
+			r.Fit.R2, tol.MinR2)
+	}
+	if tol.MaxRatio > 0 {
+		for _, p := range r.Points {
+			if p.Ratio > tol.MaxRatio {
+				return fmt.Errorf("conform: leading ratio %.2f at n=%d c=%d k=%d exceeds %.2f (predictor %.1f, median %.1f slots)",
+					p.Ratio, p.N, p.C, p.K, tol.MaxRatio, p.Predictor, p.MedianSlots)
+			}
+		}
+	}
+	return nil
+}
+
+// arena is the per-worker scratch of a sweep: the assignment builder and
+// protocol arenas reused across that worker's trials.
+type arena struct {
+	assign assign.Builder
+	cast   cogcast.Arena
+	comp   cogcomp.Arena
+	inputs []int64
+}
+
+// runSweep flattens (point, trial) pairs over the worker pool, measures
+// one slot count per trial via measure, and folds medians into a report.
+func runSweep(s Sweep, measure func(a *arena, p Point, trialSeed int64) (float64, error)) (*Report, error) {
+	if len(s.Points) < 2 {
+		return nil, fmt.Errorf("conform: sweep needs >= 2 points for a fit, got %d", len(s.Points))
+	}
+	if s.Trials < 1 {
+		return nil, fmt.Errorf("conform: sweep needs >= 1 trials, got %d", s.Trials)
+	}
+	for _, p := range s.Points {
+		if p.N < 2 || p.K < 1 || p.K > p.C {
+			return nil, fmt.Errorf("conform: bad point n=%d c=%d k=%d", p.N, p.C, p.K)
+		}
+	}
+	total := len(s.Points) * s.Trials
+	slots, err := parallel.MapArena(total, s.Workers, func() *arena { return new(arena) },
+		func(i int, a *arena) (float64, error) {
+			p := s.Points[i/s.Trials]
+			trial := i % s.Trials
+			ts := rng.Derive(s.Seed, int64(p.N), int64(p.C), int64(p.K), int64(trial))
+			return measure(a, p, ts)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{MinRatio: math.Inf(1)}
+	xs := make([]float64, 0, len(s.Points))
+	ys := make([]float64, 0, len(s.Points))
+	for pi, p := range s.Points {
+		sum, err := stats.Summarize(slots[pi*s.Trials : (pi+1)*s.Trials])
+		if err != nil {
+			return nil, err
+		}
+		pr := PointResult{
+			Point:       p,
+			Predictor:   p.Predictor(),
+			MedianSlots: sum.Median,
+		}
+		pr.Ratio = stats.Ratio(pr.MedianSlots, pr.Predictor)
+		rep.Points = append(rep.Points, pr)
+		rep.MinRatio = math.Min(rep.MinRatio, pr.Ratio)
+		rep.MaxRatio = math.Max(rep.MaxRatio, pr.Ratio)
+		xs = append(xs, pr.Predictor)
+		ys = append(ys, pr.MedianSlots)
+	}
+	fit, err := stats.PowerFit(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %w", err)
+	}
+	rep.Fit = fit
+	return rep, nil
+}
+
+// Broadcast measures COGCAST completion against Theorem 4's bound shape.
+func Broadcast(s Sweep) (*Report, error) {
+	return runSweep(s, func(a *arena, p Point, ts int64) (float64, error) {
+		asn, err := a.assign.Partitioned(p.N, p.C, p.K, assign.LocalLabels, ts)
+		if err != nil {
+			return 0, err
+		}
+		budget := 64 * cogcast.SlotBound(p.N, p.C, p.K, cogcast.DefaultKappa)
+		res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: budget})
+		if err != nil {
+			return 0, err
+		}
+		if !res.AllInformed {
+			return 0, fmt.Errorf("conform: broadcast incomplete after %d slots (n=%d c=%d k=%d)", res.Slots, p.N, p.C, p.K)
+		}
+		return float64(res.Slots), nil
+	})
+}
+
+// Aggregation measures COGCOMP completion against Theorem 10's bound
+// shape — Theorem 4's predictor plus the additive n of the census and
+// convergecast phases. The point's Predictor is replaced by
+// Predictor() + n for the fit and ratios.
+func Aggregation(s Sweep) (*Report, error) {
+	rep, err := runSweep(s, func(a *arena, p Point, ts int64) (float64, error) {
+		asn, err := a.assign.Partitioned(p.N, p.C, p.K, assign.LocalLabels, ts)
+		if err != nil {
+			return 0, err
+		}
+		if cap(a.inputs) < p.N {
+			a.inputs = make([]int64, p.N)
+		}
+		a.inputs = a.inputs[:p.N]
+		for i := range a.inputs {
+			a.inputs[i] = int64(i)
+		}
+		res, err := a.comp.Run(asn, 0, a.inputs, ts, cogcomp.Config{})
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.TotalSlots), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-base predictors, ratios and the fit on Theorem 10's "+ n" shape.
+	xs := make([]float64, 0, len(rep.Points))
+	ys := make([]float64, 0, len(rep.Points))
+	rep.MinRatio = math.Inf(1)
+	rep.MaxRatio = 0
+	for i := range rep.Points {
+		pr := &rep.Points[i]
+		pr.Predictor += float64(pr.N)
+		pr.Ratio = stats.Ratio(pr.MedianSlots, pr.Predictor)
+		rep.MinRatio = math.Min(rep.MinRatio, pr.Ratio)
+		rep.MaxRatio = math.Max(rep.MaxRatio, pr.Ratio)
+		xs = append(xs, pr.Predictor)
+		ys = append(ys, pr.MedianSlots)
+	}
+	fit, err := stats.PowerFit(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %w", err)
+	}
+	rep.Fit = fit
+	return rep, nil
+}

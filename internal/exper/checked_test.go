@@ -1,0 +1,47 @@
+package exper
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll renders every table of one run into a single byte string.
+func renderAll(t *testing.T, tables []*Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestAllExperimentsQuickChecked replays every experiment's quick
+// configuration with the invariant oracle attached (Config.Check): every
+// slot of every trial is re-verified by the independent checker, the
+// distribution trees, censuses and aggregates are validated, and a single
+// violation fails the run. The rendered tables must be byte-identical to
+// the unchecked run — the oracle observes, it never perturbs.
+func TestAllExperimentsQuickChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			plain, err := e.Run(Config{Seed: 7, Trials: 3, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			checked, err := e.Run(Config{Seed: 7, Trials: 3, Quick: true, Check: true})
+			if err != nil {
+				t.Fatalf("%s with oracle: %v", e.ID, err)
+			}
+			if got, want := renderAll(t, checked), renderAll(t, plain); got != want {
+				t.Errorf("%s: checked tables differ from unchecked:\n--- checked ---\n%s\n--- plain ---\n%s", e.ID, got, want)
+			}
+		})
+	}
+}

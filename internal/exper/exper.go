@@ -45,6 +45,12 @@ type Config struct {
 	// serial trial execution regardless of Parallel so the stream is
 	// well-ordered; results are unchanged, only wall-clock grows.
 	Trace trace.Sink
+	// Check runs every COGCAST/COGCOMP trial under the invariant oracle
+	// (package invariant): assignment contract, per-slot collision
+	// resolution, distribution tree, census, and aggregate ground truth.
+	// Any violation fails the experiment. Tables are unchanged — the
+	// oracle only observes — at the cost of slower trials.
+	Check bool
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -113,7 +119,17 @@ func (a *arena) experInputs(n int, seed int64) []int64 {
 // and share no other mutable state — which is what makes the resulting
 // tables independent of Config.Parallel.
 func forTrials[T any](cfg Config, trials int, fn func(trial int, a *arena) (T, error)) ([]T, error) {
-	return parallel.MapArena(trials, cfg.workers(), func() *arena { return new(arena) }, fn)
+	return parallel.MapArena(trials, cfg.workers(), func() *arena {
+		a := new(arena)
+		if cfg.Check {
+			// Arena-level forcing puts every trial of every experiment
+			// under the oracle without threading a flag through each
+			// run-configuration site.
+			a.cast.SetCheck(true)
+			a.comp.SetCheck(true)
+		}
+		return a
+	}, fn)
 }
 
 // Table is a rendered experiment result.

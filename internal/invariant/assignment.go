@@ -1,0 +1,69 @@
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// CheckAssignment independently verifies an assignment's (n, C, c, k)
+// contract for one slot: parameters are sane, every channel set is
+// non-empty, duplicate-free, within [0, C) and no larger than c, and every
+// pair of nodes overlaps on at least k channels. Overlap is counted with
+// per-node membership maps — deliberately not assign.Validate's bitmap
+// path — so the two implementations cross-check each other.
+//
+// For static assignments one slot covers all of them; for per-slot
+// assignments (dynamic, jamming) it verifies the given slot, and the
+// per-slot Checker covers membership of the channels actually used in
+// every other slot. Cost is O(n²·c); call it once per run, not per slot.
+func CheckAssignment(a sim.Assignment, slot int) error {
+	n, total, c, k := a.Nodes(), a.Channels(), a.PerNode(), a.MinOverlap()
+	if n < 1 {
+		return fmt.Errorf("invariant: assignment has n=%d nodes", n)
+	}
+	if total < 1 || c < 1 || c > total {
+		return fmt.Errorf("invariant: assignment parameters C=%d, c=%d violate 1 <= c <= C", total, c)
+	}
+	if k < 1 || k > c {
+		return fmt.Errorf("invariant: assignment overlap k=%d violates 1 <= k <= c=%d", k, c)
+	}
+	sets := make([][]int, n)
+	member := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		set := a.ChannelSet(sim.NodeID(u), slot)
+		if len(set) == 0 {
+			return fmt.Errorf("invariant: node %d has an empty channel set in slot %d", u, slot)
+		}
+		if len(set) > c {
+			return fmt.Errorf("invariant: node %d has %d channels, more than c=%d", u, len(set), c)
+		}
+		m := make(map[int]bool, len(set))
+		for _, ch := range set {
+			if ch < 0 || ch >= total {
+				return fmt.Errorf("invariant: node %d holds channel %d outside [0,%d)", u, ch, total)
+			}
+			if m[ch] {
+				return fmt.Errorf("invariant: node %d holds channel %d twice", u, ch)
+			}
+			m[ch] = true
+		}
+		sets[u] = set
+		member[u] = m
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			overlap := 0
+			for _, ch := range sets[v] {
+				if member[u][ch] {
+					overlap++
+				}
+			}
+			if overlap < k {
+				return fmt.Errorf("invariant: nodes %d and %d overlap on %d channels, below k=%d (slot %d)",
+					u, v, overlap, k, slot)
+			}
+		}
+	}
+	return nil
+}

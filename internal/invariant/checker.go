@@ -1,0 +1,248 @@
+// Package invariant implements an independent oracle for the slot model:
+// a per-slot checker that re-verifies, from outside the engine, that every
+// observed slot obeys the paper's Section 2 semantics — each node uses one
+// channel from its own set, channels resolve to exactly one winner drawn
+// from the broadcasters (uniformly under the default model), and listeners
+// and losers are reported consistently — plus offline checks for the
+// k-overlap contract of channel assignments, distribution-tree
+// well-formedness (Section 5), COGCOMP's cluster census, and aggregate
+// ground truth.
+//
+// The checker deliberately shares no code with the engine's hot path or
+// with package assign's Validate: membership is re-derived by scanning
+// ChannelSet, overlap is counted with maps instead of bitmaps, and winner
+// uniformity is tested statistically (chi-square over winner positions
+// pooled across runs). A bug in the engine's dense scratch bookkeeping or
+// in assign's bitmap sets therefore cannot hide itself from the oracle.
+//
+// Checking is opt-in and zero-cost when disabled: nothing is attached to
+// the engine, so the untraced slot path remains the pinned zero-allocation
+// loop. When enabled, a warm Checker's OnSlot allocates only on the
+// violation path.
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/sim"
+	"github.com/cogradio/crn/internal/stats"
+)
+
+// Checker is a sim.Observer that re-verifies each slot's channel outcomes
+// against the model. The zero value is not usable; call Reset before a
+// run. A Checker may be reused across runs (arenas keep one per worker):
+// Reset clears per-run state but keeps the winner-position tallies, so
+// uniformity is tested over everything the checker has ever observed.
+// Checkers are not safe for concurrent use.
+type Checker struct {
+	asn     sim.Assignment
+	model   sim.CollisionModel
+	n       int
+	numChan int
+
+	lastSlot int
+	stamp    int
+	nodeSeen []int // stamp when the node last participated in a slot
+
+	// tally[b][pos] counts contended channels with b broadcasters whose
+	// winner sat at position pos of the ascending broadcaster list. Under
+	// UniformWinner each position is equally likely; Uniformity tests that.
+	tally [][]int64
+
+	violations int
+	firstErr   error
+}
+
+var _ sim.Observer = (*Checker)(nil)
+
+// Reset prepares the checker for one run over the given assignment and
+// collision model. Violation state and the slot cursor reset; the pooled
+// uniformity tallies are kept (call a fresh Checker to drop them).
+func (c *Checker) Reset(asn sim.Assignment, model sim.CollisionModel) {
+	c.asn = asn
+	c.model = model
+	c.n = asn.Nodes()
+	c.numChan = asn.Channels()
+	c.lastSlot = -1
+	c.firstErr = nil
+	c.violations = 0
+	if short := c.n - len(c.nodeSeen); short > 0 {
+		c.nodeSeen = append(c.nodeSeen, make([]int, short)...)
+	}
+}
+
+// OnSlot implements sim.Observer: it re-checks every reported channel
+// outcome of the slot. Violations are recorded, not panicked on; see Err.
+func (c *Checker) OnSlot(slot int, outcomes []sim.ChannelOutcome) {
+	if c.asn == nil {
+		c.failf("checker used before Reset (slot %d)", slot)
+		return
+	}
+	if slot != c.lastSlot+1 {
+		c.failf("slot %d reported after slot %d: observed slots must be consecutive", slot, c.lastSlot)
+	}
+	c.lastSlot = slot
+	c.stamp++
+	prevCh := -1
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Channel <= prevCh {
+			c.failf("slot %d: channel %d out of ascending order (previous %d)", slot, o.Channel, prevCh)
+		}
+		prevCh = o.Channel
+		if o.Channel < 0 || o.Channel >= c.numChan {
+			c.failf("slot %d: channel %d outside [0,%d)", slot, o.Channel, c.numChan)
+			continue
+		}
+		if len(o.Broadcasters) == 0 && len(o.Listeners) == 0 {
+			c.failf("slot %d: channel %d reported with no participants", slot, o.Channel)
+		}
+		winnerPos := -1
+		prev := sim.NodeID(-1)
+		for pos, b := range o.Broadcasters {
+			c.checkParticipant(slot, o.Channel, b, &prev)
+			if b == o.Winner {
+				winnerPos = pos
+			}
+		}
+		prev = -1
+		for _, l := range o.Listeners {
+			c.checkParticipant(slot, o.Channel, l, &prev)
+		}
+		if len(o.Broadcasters) == 0 {
+			if o.Winner != sim.None {
+				c.failf("slot %d: channel %d has winner %d but no broadcasters", slot, o.Channel, o.Winner)
+			}
+			continue
+		}
+		if winnerPos < 0 {
+			c.failf("slot %d: channel %d winner %d is not among its %d broadcasters",
+				slot, o.Channel, o.Winner, len(o.Broadcasters))
+			continue
+		}
+		switch c.model {
+		case sim.AllDelivered:
+			// Footnote-3 semantics deliver everything; the engine reports
+			// the first (smallest-id) broadcaster as the nominal winner.
+			if winnerPos != 0 {
+				c.failf("slot %d: channel %d all-delivered winner %d is not the first broadcaster",
+					slot, o.Channel, o.Winner)
+			}
+		default:
+			if len(o.Broadcasters) > 1 {
+				c.tallyWin(len(o.Broadcasters), winnerPos)
+			}
+		}
+	}
+}
+
+// checkParticipant verifies one node's appearance on a channel: id in
+// range, lists ascending, one radio per node per slot, and — re-derived
+// independently from the assignment — the physical channel really is in
+// the node's channel set for this slot.
+func (c *Checker) checkParticipant(slot, ch int, id sim.NodeID, prev *sim.NodeID) {
+	if id < 0 || int(id) >= c.n {
+		c.failf("slot %d: channel %d participant %d outside [0,%d)", slot, ch, id, c.n)
+		return
+	}
+	if id <= *prev {
+		c.failf("slot %d: channel %d participants out of ascending order (%d after %d)", slot, ch, id, *prev)
+	}
+	*prev = id
+	if c.nodeSeen[id] == c.stamp {
+		c.failf("slot %d: node %d participates on two channels in one slot", slot, id)
+	}
+	c.nodeSeen[id] = c.stamp
+	set := c.asn.ChannelSet(id, slot)
+	ok := false
+	for _, p := range set {
+		if p == ch {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		c.failf("slot %d: node %d used physical channel %d outside its %d-channel set", slot, id, ch, len(set))
+	}
+}
+
+// tallyWin records a contended-channel (b >= 2 broadcasters) winner
+// position, growing the tally table lazily (each contender count allocates
+// its row once). Uncontended channels have a forced winner and carry no
+// uniformity information.
+func (c *Checker) tallyWin(b, pos int) {
+	if b >= len(c.tally) {
+		c.tally = append(c.tally, make([][]int64, b+1-len(c.tally))...)
+	}
+	if c.tally[b] == nil {
+		c.tally[b] = make([]int64, b)
+	}
+	c.tally[b][pos]++
+}
+
+func (c *Checker) failf(format string, args ...any) {
+	c.violations++
+	if c.firstErr == nil {
+		c.firstErr = fmt.Errorf("invariant: "+format, args...)
+	}
+}
+
+// Err returns the first violation recorded since the last Reset, or nil.
+func (c *Checker) Err() error { return c.firstErr }
+
+// Violations returns the number of violations since the last Reset.
+func (c *Checker) Violations() int { return c.violations }
+
+// Tallied returns the number of contended-channel resolutions recorded in
+// the pooled winner-position tallies (all runs since the checker was
+// created).
+func (c *Checker) Tallied() int64 {
+	var total int64
+	for _, row := range c.tally {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// Uniformity tests the pooled winner-position tallies against the uniform
+// null: under the paper's collision model the winner of a channel with b
+// broadcasters is uniform over them, so its position in the ascending
+// broadcaster list is uniform over [0,b). Buckets with expected cell count
+// below 5 are excluded (standard chi-square validity); statistics pool
+// across the remaining buckets. It returns an error when the combined
+// p-value falls below minP, and nil when there is too little data to test.
+func (c *Checker) Uniformity(minP float64) error {
+	var stat float64
+	dof := 0
+	var pooled int64
+	for b := 2; b < len(c.tally); b++ {
+		counts := c.tally[b]
+		if counts == nil {
+			continue
+		}
+		var total int64
+		for _, v := range counts {
+			total += v
+		}
+		if total == 0 || float64(total)/float64(b) < 5 {
+			continue
+		}
+		s, d, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			continue
+		}
+		stat += s
+		dof += d
+		pooled += total
+	}
+	if dof == 0 {
+		return nil
+	}
+	if p := stats.ChiSquareP(stat, dof); p < minP {
+		return fmt.Errorf("invariant: winner positions non-uniform over %d contended channels: chi2=%.2f dof=%d p=%.3g < %.3g",
+			pooled, stat, dof, p, minP)
+	}
+	return nil
+}

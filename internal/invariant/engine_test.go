@@ -1,0 +1,58 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/invariant"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// chatter broadcasts on its first local channel every slot, forever —
+// maximum contention, so every slot exercises the winner draw.
+type chatter struct{}
+
+func (chatter) Step(slot int) Action           { return sim.Broadcast(0, nil) }
+func (chatter) Deliver(slot int, ev sim.Event) {}
+func (chatter) Done() bool                     { return false }
+
+// Action aliases sim.Action so chatter's method set matches sim.Protocol.
+type Action = sim.Action
+
+// TestEngineWinnerUniformity drives the real engine with every node
+// broadcasting on one shared channel each slot, so each slot is one
+// contended resolution with n broadcasters. Pooled over thousands of
+// slots, the winner position must pass the chi-square uniformity test —
+// a statistical check of the engine's UniformWinner draw against the
+// model, made by the oracle rather than by the engine's own code.
+func TestEngineWinnerUniformity(t *testing.T) {
+	const n, slots = 8, 4000
+	asn, err := assign.FullOverlap(n, 1, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = chatter{}
+	}
+	ck := new(invariant.Checker)
+	ck.Reset(asn, sim.UniformWinner)
+	eng, err := sim.NewEngine(asn, protos, 42, sim.WithObserver(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < slots; s++ {
+		if err := eng.RunSlot(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("oracle violation: %v", err)
+	}
+	if got := ck.Tallied(); got != slots {
+		t.Fatalf("tallied %d contended channels, want %d", got, slots)
+	}
+	if err := ck.Uniformity(1e-3); err != nil {
+		t.Error(err)
+	}
+}

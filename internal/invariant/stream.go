@@ -1,0 +1,141 @@
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/trace"
+)
+
+// Stream is a trace.Sink that re-validates the structural consistency of a
+// run's event stream as it is produced (or replayed): channel outcomes
+// group under a slot marker whose active count matches, slot markers and
+// phase transitions advance strictly, epidemic progress is monotone, and
+// census numbers are internally consistent. Wrap it around a real sink
+// (or use it standalone with a nil next) to check a stream without
+// changing what is recorded.
+//
+// Like the per-slot Checker, Stream records violations rather than
+// panicking; inspect Err after the run. Trial-boundary events reset the
+// per-trial cursors, so experiment streams with many trials validate too.
+type Stream struct {
+	next trace.Sink
+
+	chanEvents  int64
+	pendingSlot int
+	lastSlot    int
+	lastPhase   int64
+	lastDone    int64
+	sawProgress bool
+
+	violations int
+	firstErr   error
+}
+
+var _ trace.Sink = (*Stream)(nil)
+
+// NewStream returns a Stream forwarding every event to next (which may be
+// nil for validate-only use).
+func NewStream(next trace.Sink) *Stream {
+	s := &Stream{next: next}
+	s.resetTrial()
+	return s
+}
+
+func (s *Stream) resetTrial() {
+	s.chanEvents = 0
+	s.pendingSlot = -1
+	s.lastSlot = -1
+	s.lastPhase = 0
+	s.lastDone = -1
+	s.sawProgress = false
+}
+
+// Emit implements trace.Sink.
+func (s *Stream) Emit(ev trace.Event) {
+	s.check(ev)
+	if s.next != nil {
+		s.next.Emit(ev)
+	}
+}
+
+func (s *Stream) check(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindTrial:
+		s.resetTrial()
+	case trace.KindChannel:
+		if ev.Slot < 0 {
+			s.failf("channel event without a slot (%d)", ev.Slot)
+		}
+		if s.chanEvents == 0 {
+			s.pendingSlot = ev.Slot
+		} else if ev.Slot != s.pendingSlot {
+			s.failf("channel event for slot %d amid slot %d's group", ev.Slot, s.pendingSlot)
+		}
+		s.chanEvents++
+		if ev.A < 0 || ev.B < 0 || ev.A+ev.B < 1 {
+			s.failf("slot %d channel %d reports %d broadcasters, %d listeners", ev.Slot, ev.Channel, ev.A, ev.B)
+		}
+		if (ev.A == 0) != (ev.Peer < 0) {
+			s.failf("slot %d channel %d has %d broadcasters but winner %d", ev.Slot, ev.Channel, ev.A, ev.Peer)
+		}
+	case trace.KindSlot:
+		if ev.Slot <= s.lastSlot {
+			s.failf("slot marker %d after marker %d", ev.Slot, s.lastSlot)
+		}
+		s.lastSlot = ev.Slot
+		if s.chanEvents > 0 && s.pendingSlot != ev.Slot {
+			s.failf("slot marker %d closes channel group for slot %d", ev.Slot, s.pendingSlot)
+		}
+		if ev.A != s.chanEvents {
+			s.failf("slot marker %d reports %d active channels, stream carried %d", ev.Slot, ev.A, s.chanEvents)
+		}
+		s.chanEvents = 0
+	case trace.KindProgress:
+		if ev.A < 0 || ev.A > ev.B {
+			s.failf("progress %d of %d at slot %d", ev.A, ev.B, ev.Slot)
+		}
+		if s.sawProgress && ev.A < s.lastDone {
+			s.failf("progress fell from %d to %d at slot %d", s.lastDone, ev.A, ev.Slot)
+		}
+		s.lastDone = ev.A
+		s.sawProgress = true
+	case trace.KindInformed:
+		if ev.Node < 0 {
+			s.failf("informed event for node %d", ev.Node)
+		}
+	case trace.KindPhase:
+		if ev.A < 1 || ev.A > 4 {
+			s.failf("phase %d outside [1,4]", ev.A)
+		}
+		if ev.A <= s.lastPhase {
+			s.failf("phase %d after phase %d", ev.A, s.lastPhase)
+		}
+		s.lastPhase = ev.A
+	case trace.KindCensus:
+		if ev.A < 1 {
+			s.failf("census with %d informed", ev.A)
+		}
+		if ev.B < 0 || ev.B >= ev.A {
+			s.failf("census with %d mediators among %d informed", ev.B, ev.A)
+		}
+	case trace.KindFault, trace.KindJam:
+		if ev.A < 0 {
+			s.failf("%s event with negative count %d", ev.Kind, ev.A)
+		}
+	default:
+		s.failf("unknown event kind %d", ev.Kind)
+	}
+}
+
+func (s *Stream) failf(format string, args ...any) {
+	s.violations++
+	if s.firstErr == nil {
+		s.firstErr = fmt.Errorf("invariant: trace: "+format, args...)
+	}
+}
+
+// Err returns the first stream violation, or nil.
+func (s *Stream) Err() error { return s.firstErr }
+
+// Violations returns the number of stream violations recorded.
+func (s *Stream) Violations() int { return s.violations }

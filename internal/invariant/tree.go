@@ -1,0 +1,126 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// CheckBroadcastTree verifies the well-formedness of a reported
+// distribution tree (the Section 5 structure COGCAST and COGCOMP phase one
+// leave behind): the source and only the source is parentless-but-informed,
+// every informed non-source node has an informed parent that was informed
+// strictly earlier (which also rules out cycles), and the reported
+// completion flag matches the per-node record. parents[v] is sim.None for
+// the source and uninformed nodes; informedSlots[v] is -1 for the same.
+func CheckBroadcastTree(n int, source sim.NodeID, parents []sim.NodeID, informedSlots []int, allInformed bool) error {
+	if len(parents) != n || len(informedSlots) != n {
+		return fmt.Errorf("invariant: tree arrays sized %d and %d for n=%d", len(parents), len(informedSlots), n)
+	}
+	if source < 0 || int(source) >= n {
+		return fmt.Errorf("invariant: source %d outside [0,%d)", source, n)
+	}
+	if parents[source] != sim.None {
+		return fmt.Errorf("invariant: source %d has parent %d, want none", source, parents[source])
+	}
+	if informedSlots[source] != -1 {
+		return fmt.Errorf("invariant: source %d has informed slot %d, want -1", source, informedSlots[source])
+	}
+	informed := 1
+	for v := 0; v < n; v++ {
+		if sim.NodeID(v) == source {
+			continue
+		}
+		p, s := parents[v], informedSlots[v]
+		if (p == sim.None) != (s < 0) {
+			return fmt.Errorf("invariant: node %d has parent %d but informed slot %d", v, p, s)
+		}
+		if p == sim.None {
+			continue
+		}
+		informed++
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("invariant: node %d has parent %d outside [0,%d)", v, p, n)
+		}
+		if int(p) == v {
+			return fmt.Errorf("invariant: node %d is its own parent", v)
+		}
+		if p != source {
+			ps := informedSlots[p]
+			if ps < 0 {
+				return fmt.Errorf("invariant: node %d was informed by uninformed node %d", v, p)
+			}
+			if ps >= s {
+				return fmt.Errorf("invariant: node %d informed in slot %d by node %d informed later (slot %d)", v, s, p, ps)
+			}
+		}
+	}
+	if allInformed != (informed == n) {
+		return fmt.Errorf("invariant: completion flag %v but tree records %d of %d nodes informed", allInformed, informed, n)
+	}
+	return nil
+}
+
+// CheckCensus verifies COGCOMP's cluster-census bookkeeping: the informed
+// count includes the source and never exceeds n, completion means exactly
+// n informed, and the mediator election produced one mediator per physical
+// channel that informed anyone — so zero mediators exactly when nobody but
+// the source is informed, and otherwise between 1 and both the informed
+// non-source count and the channel count.
+func CheckCensus(n, channels, informed, mediators int, complete bool) error {
+	if informed < 1 || informed > n {
+		return fmt.Errorf("invariant: census informed=%d outside [1,%d]", informed, n)
+	}
+	if complete != (informed == n) {
+		return fmt.Errorf("invariant: census complete=%v with informed=%d of n=%d", complete, informed, n)
+	}
+	if informed == 1 {
+		if mediators != 0 {
+			return fmt.Errorf("invariant: census elected %d mediators with only the source informed", mediators)
+		}
+		return nil
+	}
+	if mediators < 1 {
+		return fmt.Errorf("invariant: census elected no mediator with %d nodes informed", informed)
+	}
+	if mediators > informed-1 {
+		return fmt.Errorf("invariant: census elected %d mediators among %d informed non-source nodes", mediators, informed-1)
+	}
+	if mediators > channels {
+		return fmt.Errorf("invariant: census elected %d mediators over %d channels", mediators, channels)
+	}
+	return nil
+}
+
+// AggEqual compares a reported aggregate value against the ground truth
+// computed by aggfunc.Fold. Collect values ([]aggfunc.Entry) are compared
+// as sets — the in-tree merge order is execution-dependent — while every
+// other built-in aggregate is a comparable value type.
+func AggEqual(got, want aggfunc.Value) bool {
+	w, wantEntries := want.([]aggfunc.Entry)
+	g, gotEntries := got.([]aggfunc.Entry)
+	if wantEntries != gotEntries {
+		return false
+	}
+	if !wantEntries {
+		return got == want
+	}
+	if len(g) != len(w) {
+		return false
+	}
+	gs := append([]aggfunc.Entry(nil), g...)
+	ws := append([]aggfunc.Entry(nil), w...)
+	byID := func(es []aggfunc.Entry) func(i, j int) bool {
+		return func(i, j int) bool { return es[i].ID < es[j].ID }
+	}
+	sort.Slice(gs, byID(gs))
+	sort.Slice(ws, byID(ws))
+	for i := range gs {
+		if gs[i] != ws[i] {
+			return false
+		}
+	}
+	return true
+}

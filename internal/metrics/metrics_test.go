@@ -1,6 +1,7 @@
 package metrics_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -55,5 +56,75 @@ func TestMetricsString(t *testing.T) {
 	s := c.Snapshot().String()
 	if !strings.Contains(s, "slots=1") || !strings.Contains(s, "delivery=100%") {
 		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestCollectorEdgeCases drives Snapshot through the degenerate inputs a
+// real run can produce — no slots, slots with no outcomes, all-silent
+// channels, broadcaster-only channels — and pins that every rate stays a
+// finite number (the zero-denominator guards hold).
+func TestCollectorEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		slots [][]sim.ChannelOutcome
+		want  metrics.Metrics
+	}{
+		{
+			name:  "empty collector",
+			slots: nil,
+			want:  metrics.Metrics{},
+		},
+		{
+			name:  "slots without outcomes",
+			slots: [][]sim.ChannelOutcome{nil, {}},
+			want:  metrics.Metrics{Slots: 2},
+		},
+		{
+			name: "all listeners, silent medium",
+			slots: [][]sim.ChannelOutcome{{
+				{Channel: 0, Winner: sim.None, Listeners: []sim.NodeID{1, 2}},
+				{Channel: 3, Winner: sim.None, Listeners: []sim.NodeID{4}},
+			}},
+			want: metrics.Metrics{Slots: 1},
+		},
+		{
+			name: "broadcasters without listeners",
+			slots: [][]sim.ChannelOutcome{{
+				{Channel: 0, Broadcasters: []sim.NodeID{1}, Winner: 1},
+			}},
+			want: metrics.Metrics{Slots: 1, BusyChannelsPerSlot: 1, BroadcastsPerSlot: 1},
+		},
+		{
+			name: "single contended channel",
+			slots: [][]sim.ChannelOutcome{{
+				{Channel: 0, Broadcasters: []sim.NodeID{1, 2, 3}, Winner: 2},
+			}},
+			want: metrics.Metrics{Slots: 1, BusyChannelsPerSlot: 1, CollisionRate: 1, BroadcastsPerSlot: 3},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var col metrics.Collector
+			for i, outcomes := range c.slots {
+				col.OnSlot(i, outcomes)
+			}
+			got := col.Snapshot()
+			if got != c.want {
+				t.Errorf("Snapshot() = %+v, want %+v", got, c.want)
+			}
+			for name, v := range map[string]float64{
+				"BusyChannelsPerSlot": got.BusyChannelsPerSlot,
+				"CollisionRate":       got.CollisionRate,
+				"DeliveryRate":        got.DeliveryRate,
+				"BroadcastsPerSlot":   got.BroadcastsPerSlot,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+			if s := got.String(); strings.Contains(s, "NaN") {
+				t.Errorf("String() leaked NaN: %q", s)
+			}
+		})
 	}
 }

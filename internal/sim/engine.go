@@ -188,6 +188,10 @@ func (e *Engine) Reset(asn Assignment, nodes []Protocol, seed int64, opts ...Opt
 // Slot returns the number of slots executed so far.
 func (e *Engine) Slot() int { return e.slot }
 
+// Collisions returns the engine's collision model. Debug observers (the
+// invariant checker) use it to select which semantics to re-verify.
+func (e *Engine) Collisions() CollisionModel { return e.collisions }
+
 // AllDone reports whether every protocol has terminated.
 func (e *Engine) AllDone() bool {
 	for _, p := range e.nodes {

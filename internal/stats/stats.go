@@ -147,3 +147,82 @@ func Ratio(y, x float64) float64 {
 	}
 	return y / x
 }
+
+// PowerLaw is a least-squares power-law fit y = Coeff·x^Exponent, obtained
+// by a linear fit in log–log space. R2 is the coefficient of determination
+// of the log–log line.
+type PowerLaw struct {
+	Exponent float64
+	Coeff    float64
+	R2       float64
+}
+
+// PowerFit fits y = A·x^e by ordinary least squares over (lg x, lg y). The
+// conformance harness uses it to verify bound shapes: measured completion
+// slots regressed against a theorem's predictor should give an exponent
+// near 1 (the measurement scales as the predictor, not a higher power).
+// All samples must be strictly positive.
+func PowerFit(x, y []float64) (PowerLaw, error) {
+	if len(x) != len(y) {
+		return PowerLaw{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(x), len(y))
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return PowerLaw{}, fmt.Errorf("stats: power fit needs positive samples, got (%g, %g)", x[i], y[i])
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	fit, err := LinearFit(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{Exponent: fit.Slope, Coeff: math.Exp(fit.Intercept), R2: fit.R2}, nil
+}
+
+// ChiSquareUniform returns the chi-square statistic and degrees of freedom
+// for observed counts against the uniform null hypothesis (every cell
+// equally likely). It errors when the counts carry no observations or a
+// single cell (no degrees of freedom to test).
+func ChiSquareUniform(counts []int64) (stat float64, dof int, err error) {
+	if len(counts) < 2 {
+		return 0, 0, fmt.Errorf("stats: chi-square needs >= 2 cells, got %d", len(counts))
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, ErrEmpty
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, len(counts) - 1, nil
+}
+
+// ChiSquareP returns the upper-tail p-value P(X >= stat) of a chi-square
+// distribution with dof degrees of freedom, via the Wilson–Hilferty cube
+// root normal approximation — accurate to a few percent for dof >= 1,
+// which is ample for the checker's "is uniformity grossly violated" test.
+func ChiSquareP(stat float64, dof int) float64 {
+	if dof < 1 {
+		return math.NaN()
+	}
+	if stat <= 0 {
+		return 1
+	}
+	d := float64(dof)
+	// (X/d)^(1/3) is approximately normal with mean 1-2/(9d), variance 2/(9d).
+	mean := 1 - 2/(9*d)
+	sd := math.Sqrt(2 / (9 * d))
+	z := (math.Cbrt(stat/d) - mean) / sd
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

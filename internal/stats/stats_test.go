@@ -144,3 +144,109 @@ func TestSummaryString(t *testing.T) {
 		t.Errorf("String() = %q", str)
 	}
 }
+
+func TestPowerFitExact(t *testing.T) {
+	// y = 3·x^2 exactly.
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * x[i] * x[i]
+	}
+	fit, err := PowerFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-2) > 1e-9 || math.Abs(fit.Coeff-3) > 1e-9 {
+		t.Errorf("fit = %+v, want exponent 2 coeff 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestPowerFitErrors(t *testing.T) {
+	if _, err := PowerFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := PowerFit([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-positive x accepted")
+	}
+	if _, err := PowerFit([]float64{1, 2}, []float64{1, -3}); err == nil {
+		t.Error("negative y accepted")
+	}
+	if _, err := PowerFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero log-x variance accepted")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	stat, dof, err := ChiSquareUniform([]int64{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 3 {
+		t.Errorf("uniform counts: stat=%v dof=%d, want 0 and 3", stat, dof)
+	}
+	// All mass in one of two cells: stat = (20-10)^2/10 + (0-10)^2/10 = 20.
+	stat, dof, err = ChiSquareUniform([]int64{20, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stat-20) > 1e-12 || dof != 1 {
+		t.Errorf("skewed counts: stat=%v dof=%d, want 20 and 1", stat, dof)
+	}
+}
+
+func TestChiSquareUniformErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int64{5}); err == nil {
+		t.Error("single cell accepted")
+	}
+	if _, _, err := ChiSquareUniform([]int64{1, -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, err := ChiSquareUniform([]int64{0, 0, 0}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("zero total: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestChiSquareP(t *testing.T) {
+	// Reference upper-tail values: P(X >= 3.84 | dof 1) ≈ 0.050,
+	// P(X >= 18.31 | dof 10) ≈ 0.050, P(X >= 2.71 | dof 1) ≈ 0.100.
+	cases := []struct {
+		stat float64
+		dof  int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{2.706, 1, 0.10},
+		{18.307, 10, 0.05},
+		{23.209, 10, 0.01},
+	}
+	for _, c := range cases {
+		got := ChiSquareP(c.stat, c.dof)
+		// Wilson–Hilferty is approximate; a few percent of the tail mass.
+		if math.Abs(got-c.want) > 0.25*c.want {
+			t.Errorf("ChiSquareP(%v, %d) = %v, want about %v", c.stat, c.dof, got, c.want)
+		}
+	}
+	if ChiSquareP(0, 4) != 1 {
+		t.Error("stat 0 should have p-value 1")
+	}
+	if !math.IsNaN(ChiSquareP(1, 0)) {
+		t.Error("dof 0 should be NaN")
+	}
+	if p := ChiSquareP(1000, 2); p > 1e-6 {
+		t.Errorf("huge statistic: p = %v, want about 0", p)
+	}
+}
+
+// TestQuantileSingleSample pins the degenerate one-element sample: every
+// quantile is that element, never NaN or an out-of-range interpolation.
+func TestQuantileSingleSample(t *testing.T) {
+	single := []float64{42}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := Quantile(single, q); got != 42 {
+			t.Errorf("Quantile([42], %v) = %v, want 42", q, got)
+		}
+	}
+}
