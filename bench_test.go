@@ -65,6 +65,8 @@ func BenchmarkE22PrimaryUserSpectrum(b *testing.B)    { benchExperiment(b, "E22"
 func BenchmarkE23AggregationLowerBound(b *testing.B)  { benchExperiment(b, "E23") }
 func BenchmarkE24BackoffCost(b *testing.B)            { benchExperiment(b, "E24") }
 func BenchmarkE25AggregationSessions(b *testing.B)    { benchExperiment(b, "E25") }
+func BenchmarkE26CrashRestartRecovery(b *testing.B)   { benchExperiment(b, "E26") }
+func BenchmarkE27RecoveryOverhead(b *testing.B)       { benchExperiment(b, "E27") }
 
 // --- Substrate micro-benchmarks ------------------------------------------------
 

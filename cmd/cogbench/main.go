@@ -74,6 +74,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		trials   = fs.Int("trials", 0, "trials per parameter point (0 = default)")
 		quick    = fs.Bool("quick", false, "reduced sweeps")
 		check    = fs.Bool("check", false, "replay every trial under the invariant oracle (package invariant); tables are unchanged, any violation fails the experiment")
+		recov    = fs.Bool("recover", false, "route every COGCOMP trial through the crash-restart recovery supervisor (package recover); fault-free tables are byte-identical to the classic runner")
 		format   = fs.String("format", "text", "output format: text, markdown or csv")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
@@ -136,7 +137,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		report.Parallel = parallel.DefaultWorkers()
 	}
 
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check}
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov}
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {

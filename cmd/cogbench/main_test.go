@@ -223,3 +223,37 @@ func TestCheckFlagIdenticalTables(t *testing.T) {
 		t.Errorf("-check changed tables:\n--- checked ---\n%s--- plain ---\n%s", checked.String(), plain.String())
 	}
 }
+
+func TestRunRecoverByteIdentical(t *testing.T) {
+	// -recover must not change a fault-free experiment's table by a byte.
+	render := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-exp", "E4", "-quick", "-trials", "2"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		// Strip the wall-clock line, which legitimately differs.
+		lines := strings.Split(out.String(), "\n")
+		kept := lines[:0]
+		for _, ln := range lines {
+			if !strings.Contains(ln, "finished in") {
+				kept = append(kept, ln)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if classic, rec := render(), render("-recover"); classic != rec {
+		t.Errorf("-recover changed E4's table:\n--- classic ---\n%s\n--- recover ---\n%s", classic, rec)
+	}
+}
+
+func TestRunRecoveryExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E26,E27", "-quick", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E26") || !strings.Contains(s, "E27") {
+		t.Errorf("output = %q", s)
+	}
+}

@@ -47,7 +47,7 @@ func run(args []string, out io.Writer) error {
 		topology = fs.String("topology", "shared-core", "topology: full, partitioned, shared-core, random-pool, pairwise")
 		labels   = fs.String("labels", "local", "label model: local or global")
 		dynamic  = fs.Bool("dynamic", false, "re-draw channel sets every slot")
-		jam      = fs.String("jam", "", "jammer strategy (none, random, sweep, split); overrides topology")
+		jam      = fs.String("jam", "", "jammer strategy (none, random, sweep, block, split); overrides topology")
 		jamK     = fs.Int("jamk", 0, "channels jammed per node per slot")
 		seed     = fs.Int64("seed", 1, "root seed")
 		source   = fs.Int("source", 0, "source node")
@@ -56,6 +56,8 @@ func run(args []string, out io.Writer) error {
 		rumors   = fs.Int("rumors", 4, "rumor count for the gossip protocol")
 		maxSlots = fs.Int("max-slots", 0, "slot budget (0 = automatic)")
 		check    = fs.Bool("check", false, "run under the invariant oracle: re-verify every slot, the distribution tree, census and aggregate (cogcast, cogcomp, session)")
+		recov    = fs.Bool("recover", false, "run cogcomp under the crash-restart recovery supervisor (epoch checkpoints, bounded retries, mediator re-election; DESIGN.md §7)")
+		outage   = fs.Float64("outage", 0, "with -recover: per-slot crash probability per node (source protected), 10-slot outages")
 		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
 		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints per-repetition lines and a slot-count summary")
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
@@ -82,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		jam: *jam, jamK: *jamK, seed: *seed, source: *source, agg: *agg,
 		rounds: *rounds, rumors: *rumors, maxSlots: *maxSlots, curve: *curve,
 		repeat: *repeat, workers: *workers, traceTo: *traceTo, check: *check,
+		recover: *recov, outage: *outage,
 	})
 	if serr := stop(); err == nil {
 		err = serr
@@ -105,6 +108,8 @@ type options struct {
 	repeat, workers          int
 	traceTo                  string
 	check                    bool
+	recover                  bool
+	outage                   float64
 }
 
 func runProtocol(out io.Writer, o options) error {
@@ -157,6 +162,12 @@ func runProtocol(out io.Writer, o options) error {
 	if o.check && o.protocol != "cogcast" && o.protocol != "cogcomp" && o.protocol != "session" {
 		return fmt.Errorf("-check supports cogcast, cogcomp and session, not %q", o.protocol)
 	}
+	if (o.recover || o.outage > 0) && o.protocol != "cogcomp" {
+		return fmt.Errorf("-recover/-outage support cogcomp, not %q", o.protocol)
+	}
+	if o.outage > 0 && !o.recover {
+		return fmt.Errorf("-outage needs -recover (the classic runner has no fault injection)")
+	}
 
 	switch o.protocol {
 	case "cogcast":
@@ -192,7 +203,7 @@ func runProtocol(out io.Writer, o options) error {
 		}
 		opts := crn.AggregateOptions{
 			Source: o.source, Func: o.agg, Seed: o.seed, MaxSlots: o.maxSlots,
-			Check: o.check,
+			Check: o.check, Recover: o.recover, OutageRate: o.outage,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -204,6 +215,11 @@ func runProtocol(out io.Writer, o options) error {
 		fmt.Fprintf(out, "cogcomp: %d slots (phases %d/%d/%d/%d), %s = %v, max message %d words\n",
 			res.Slots, res.Phase1Slots, res.Phase2Slots, res.Phase3Slots, res.Phase4Slots,
 			o.agg, res.Value, res.MaxMessageSize)
+		if o.recover {
+			fmt.Fprintf(out, "recovery: contributors %d/%d, retries %d, re-elections %d, restarts %d, degraded %v, stalled %v\n",
+				len(res.Contributors), net.Nodes(), res.Retries, res.Reelections, res.Restarts,
+				res.Degraded, res.Stalled)
+		}
 		if traceW != nil {
 			if err := closeTrace(); err != nil {
 				return err
@@ -304,6 +320,8 @@ func summarizeTrace(out io.Writer, path string) error {
 	for _, kind := range []trace.Kind{
 		trace.KindSlot, trace.KindChannel, trace.KindProgress, trace.KindInformed,
 		trace.KindPhase, trace.KindCensus, trace.KindFault, trace.KindJam, trace.KindTrial,
+		trace.KindEpoch, trace.KindCheckpoint, trace.KindRetry, trace.KindReelect,
+		trace.KindRestart,
 	} {
 		if count := s.Events[kind]; count > 0 {
 			fmt.Fprintf(out, " %s=%d", kind, count)
@@ -351,7 +369,7 @@ func runRepeated(out io.Writer, o options, budget int) error {
 			}
 			res, err := net.Aggregate(inputs, crn.AggregateOptions{
 				Source: o.source, Func: o.agg, Seed: trialSeed, MaxSlots: o.maxSlots,
-				Check: o.check,
+				Check: o.check, Recover: o.recover, OutageRate: o.outage,
 			})
 			if err != nil {
 				return 0, err

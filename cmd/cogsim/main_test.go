@@ -233,3 +233,35 @@ func TestCheckFlag(t *testing.T) {
 		t.Errorf("-check with gossip: err = %v", err)
 	}
 }
+
+func TestCogcompRecoverRun(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcomp", "-n", "16", "-c", "4", "-k", "2", "-recover")
+	if !strings.Contains(out, "recovery: contributors 16/16") || !strings.Contains(out, "retries 0") {
+		t.Errorf("output = %q", out)
+	}
+	out = runOK(t, "-protocol", "cogcomp", "-n", "20", "-c", "5", "-k", "2",
+		"-recover", "-outage", "0.003", "-seed", "3", "-check")
+	if !strings.Contains(out, "recovery: contributors") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBlockJamRun(t *testing.T) {
+	out := runOK(t, "-protocol", "cogcast", "-jam", "block", "-jamk", "2", "-n", "12", "-c", "8")
+	if !strings.Contains(out, "all informed: true") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRecoverFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-protocol", "cogcast", "-recover"},
+		{"-protocol", "cogcomp", "-outage", "0.01"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -42,8 +42,10 @@ import (
 	"github.com/cogradio/crn/internal/baseline"
 	"github.com/cogradio/crn/internal/cogcast"
 	"github.com/cogradio/crn/internal/cogcomp"
+	"github.com/cogradio/crn/internal/faults"
 	"github.com/cogradio/crn/internal/jamming"
 	"github.com/cogradio/crn/internal/metrics"
+	recov "github.com/cogradio/crn/internal/recover"
 	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/trace"
 	"github.com/cogradio/crn/internal/tree"
@@ -167,8 +169,10 @@ func NewNetwork(spec Spec) (*Network, error) {
 // NewJammedNetwork builds the Theorem 18 reduction: a classic n-node,
 // c-channel network under an n-uniform adversary that jams up to kJam < c/2
 // channels per node per slot. strategy is one of "none", "random", "sweep",
-// "split". The result behaves like a dynamic cognitive radio network with
-// pairwise overlap at least c−2·kJam; Broadcast runs over it unmodified.
+// "block" (a sweeping jammer that dwells on one budget-sized channel block
+// at a time), or "split". The result behaves like a dynamic cognitive radio
+// network with pairwise overlap at least c−2·kJam; Broadcast runs over it
+// unmodified.
 func NewJammedNetwork(nodes, channels, kJam int, strategy string, seed int64) (*Network, error) {
 	var jam jamming.Jammer
 	switch strategy {
@@ -178,10 +182,12 @@ func NewJammedNetwork(nodes, channels, kJam int, strategy string, seed int64) (*
 		jam = jamming.NewRandomJammer(channels, kJam, seed)
 	case "sweep":
 		jam = jamming.NewSweepJammer(channels, kJam)
+	case "block":
+		jam = jamming.NewBlockSweepJammer(channels, kJam, 8)
 	case "split":
 		jam = jamming.NewSplitJammer(channels, kJam, 4)
 	default:
-		return nil, fmt.Errorf("crn: unknown jammer strategy %q (want none, random, sweep or split)", strategy)
+		return nil, fmt.Errorf("crn: unknown jammer strategy %q (want none, random, sweep, block or split)", strategy)
 	}
 	asn, err := jamming.NewAssignment(nodes, channels, kJam, jam, seed)
 	if err != nil {
@@ -384,6 +390,25 @@ type AggregateOptions struct {
 	// census, and the aggregate against directly-computed ground truth.
 	// Any violation fails the run. Zero cost when false.
 	Check bool
+	// Recover runs the aggregation under the crash-restart recovery
+	// supervisor: the four COGCOMP phases become checkpointed epochs that
+	// are re-executed (with exponential backoff, up to MaxRetries times)
+	// when crashed nodes leave them incomplete, mediators are re-elected
+	// when they die, and when the retry budget runs out the run degrades
+	// to an explicit partial aggregate instead of stalling or silently
+	// corrupting. Fault-free recovered runs are byte-identical to the
+	// classic runner. See DESIGN.md §7.
+	Recover bool
+	// OutageRate, with Recover set, injects random crash-restart outages:
+	// each unprotected node independently goes down with this per-slot
+	// probability (the source is protected). Zero injects no faults.
+	OutageRate float64
+	// OutageDuration is the length in slots of each injected outage
+	// (default 10).
+	OutageDuration int
+	// MaxRetries bounds per-epoch re-executions before the run degrades
+	// (0 = library default).
+	MaxRetries int
 }
 
 // AggregateResult reports an Aggregate run.
@@ -398,6 +423,19 @@ type AggregateResult struct {
 	Parents []NodeID
 	// MaxMessageSize is the largest value message sent, in abstract words.
 	MaxMessageSize int
+	// Degraded (recovered runs only) reports that the retry budget ran out
+	// and Value aggregates only Contributors' inputs — an explicit partial
+	// census, never a silent wrong answer.
+	Degraded bool
+	// Stalled (recovered runs only) reports that phase four stopped making
+	// progress entirely; Value is unreliable and Contributors is nil.
+	Stalled bool
+	// Contributors (recovered runs only) lists the nodes whose inputs are
+	// aggregated in Value, ascending.
+	Contributors []NodeID
+	// Retries, Reelections and Restarts (recovered runs only) count epoch
+	// re-executions, mediator re-elections, and node crash-restart cycles.
+	Retries, Reelections, Restarts int
 }
 
 // Stats is the value of the "stats" aggregate.
@@ -432,17 +470,22 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 	if err != nil {
 		return nil, err
 	}
+	var sink *trace.JSONL
+	if opts.Trace != nil {
+		sink = nw.newTrace(opts.Trace, "cogcomp", opts.Seed, sim.UniformWinner)
+		defer nw.detachTrace()
+	}
+	if opts.Recover {
+		return nw.aggregateRecovered(inputs, opts, f, sink)
+	}
 	cfg := cogcomp.Config{
 		Kappa:    opts.Kappa,
 		MaxSlots: opts.MaxSlots,
 		Func:     f,
 		Check:    opts.Check,
 	}
-	var sink *trace.JSONL
-	if opts.Trace != nil {
-		sink = nw.newTrace(opts.Trace, "cogcomp", opts.Seed, sim.UniformWinner)
+	if sink != nil {
 		cfg.Trace = sink
-		defer nw.detachTrace()
 	}
 	res, err := cogcomp.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cfg)
 	if err != nil {
@@ -465,6 +508,66 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 	}
 	for i, p := range res.Parents {
 		out.Parents[i] = NodeID(p)
+	}
+	return out, nil
+}
+
+// aggregateRecovered runs the recovery supervisor for Aggregate, with
+// optional injected outages.
+func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f aggfunc.Func, sink *trace.JSONL) (*AggregateResult, error) {
+	cfg := recov.Config{
+		Kappa:      opts.Kappa,
+		MaxSlots:   opts.MaxSlots,
+		Func:       f,
+		MaxRetries: opts.MaxRetries,
+		Check:      opts.Check,
+	}
+	if sink != nil {
+		cfg.Trace = sink
+	}
+	if opts.OutageRate > 0 {
+		duration := opts.OutageDuration
+		if duration == 0 {
+			duration = 10
+		}
+		schedule, err := faults.NewRandomOutages(opts.OutageRate, duration, opts.Seed, sim.NodeID(opts.Source))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Schedule = schedule
+	}
+	res, err := recov.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		if terr := sink.Err(); terr != nil {
+			return nil, terr
+		}
+	}
+	out := &AggregateResult{
+		Value:          exportValue(res.Value),
+		Slots:          res.TotalSlots,
+		Phase1Slots:    res.Phase1Slots,
+		Phase2Slots:    res.Phase2Slots,
+		Phase3Slots:    res.Phase3Slots,
+		Phase4Slots:    res.Phase4Slots,
+		Parents:        make([]NodeID, len(res.Parents)),
+		MaxMessageSize: res.MaxMessageSize,
+		Degraded:       res.Degraded,
+		Stalled:        res.Stalled,
+		Retries:        res.Retries,
+		Reelections:    res.Reelections,
+		Restarts:       res.Restarts,
+	}
+	for i, p := range res.Parents {
+		out.Parents[i] = NodeID(p)
+	}
+	if res.Contributors != nil {
+		out.Contributors = make([]NodeID, len(res.Contributors))
+		for i, id := range res.Contributors {
+			out.Contributors[i] = NodeID(id)
+		}
 	}
 	return out, nil
 }

@@ -220,7 +220,7 @@ func TestBaselinesViaFacade(t *testing.T) {
 }
 
 func TestJammedNetwork(t *testing.T) {
-	for _, strategy := range []string{"none", "random", "sweep", "split"} {
+	for _, strategy := range []string{"none", "random", "sweep", "block", "split"} {
 		net, err := crn.NewJammedNetwork(24, 12, 3, strategy, 7)
 		if err != nil {
 			t.Fatalf("%s: %v", strategy, err)
@@ -282,5 +282,74 @@ func TestDeterminism(t *testing.T) {
 	s2, v2 := run()
 	if s1 != s2 || v1 != v2 {
 		t.Errorf("identical runs diverged: (%d,%v) vs (%d,%v)", s1, v1, s2, v2)
+	}
+}
+
+func TestAggregateRecoverFaultFreeIdentity(t *testing.T) {
+	// Recover with no outages must reproduce the classic run exactly.
+	net := mustNetwork(t, defaultSpec())
+	inputs := make([]int64, net.Nodes())
+	for i := range inputs {
+		inputs[i] = int64(i + 1)
+	}
+	classic, err := net.Aggregate(inputs, crn.AggregateOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := net.Aggregate(inputs, crn.AggregateOptions{Seed: 5, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != classic.Value || rec.Slots != classic.Slots {
+		t.Errorf("recovered run diverged: (%v, %d slots) vs classic (%v, %d slots)",
+			rec.Value, rec.Slots, classic.Value, classic.Slots)
+	}
+	if rec.Degraded || rec.Stalled || rec.Retries != 0 || rec.Restarts != 0 {
+		t.Errorf("fault-free recovered run reports recovery activity: %+v", rec)
+	}
+	if len(rec.Contributors) != net.Nodes() {
+		t.Errorf("contributors = %d, want n = %d", len(rec.Contributors), net.Nodes())
+	}
+}
+
+func TestAggregateRecoverUnderOutages(t *testing.T) {
+	// Injected crash-restart outages: the supervisor must settle every
+	// seed without error, and settled runs must be exact or explicitly
+	// degraded (value = fold over Contributors) — never silently wrong.
+	net := mustNetwork(t, defaultSpec())
+	inputs := make([]int64, net.Nodes())
+	for i := range inputs {
+		inputs[i] = int64(i + 1)
+	}
+	sawRestart := false
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := net.Aggregate(inputs, crn.AggregateOptions{
+			Seed: seed, Recover: true, OutageRate: 0.003, Check: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Restarts > 0 {
+			sawRestart = true
+		}
+		if res.Stalled {
+			if !res.Degraded {
+				t.Errorf("seed %d: stalled but not degraded", seed)
+			}
+			continue
+		}
+		var want int64
+		for _, id := range res.Contributors {
+			want += inputs[id]
+		}
+		if res.Value != want {
+			t.Errorf("seed %d: value %v != contributor fold %d", seed, res.Value, want)
+		}
+		if !res.Degraded && len(res.Contributors) != net.Nodes() {
+			t.Errorf("seed %d: non-degraded run with %d contributors", seed, len(res.Contributors))
+		}
+	}
+	if !sawRestart {
+		t.Error("no seed exercised a crash-restart cycle; raise the rate")
 	}
 }

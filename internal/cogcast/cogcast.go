@@ -210,6 +210,19 @@ func (n *Node) InformedChannel() int { return n.informedLocal }
 // The returned slice is owned by the node.
 func (n *Node) Records() []SlotRecord { return n.records }
 
+// MissSlot appends an idle entry to the action log for a slot the node did
+// not act in (e.g. it was down under a fault schedule, so Step was never
+// called). Keeping the log slot-aligned is what lets COGCOMP's phase-three
+// rewind replay a faulty phase one: a missed slot rewinds to "no role".
+// No-op unless recording is enabled.
+func (n *Node) MissSlot(slot int) {
+	if !n.record {
+		return
+	}
+	n.lastSlot = slot
+	n.records = append(n.records, SlotRecord{Op: sim.OpIdle})
+}
+
 // SlotBound returns the protocol's theoretical run length
 // κ·(c/k)·max{1,c/n}·lg n, rounded up and at least 1. κ absorbs the
 // constants hidden by the Θ in Theorem 4; κ = 4 empirically suffices for

@@ -65,6 +65,15 @@ type Node struct {
 
 	p2start, p3start, p4start int
 
+	// p3base is the slot phase three's rewind is anchored at. It equals
+	// p3start classically; the recovery supervisor moves it forward when it
+	// re-executes the rewind (RetryRewind), so that slots before the new
+	// base map to out-of-range rewound indices and the node idles.
+	p3base int
+	// holdUntil makes the node idle in every slot before it (recovery
+	// backoff gaps). Zero classically, so the guard never fires.
+	holdUntil int
+
 	// Captured from the embedded COGCAST node when phase two begins.
 	p2init   bool
 	informed bool
@@ -86,15 +95,22 @@ type Node struct {
 	collected []infCluster
 
 	// Phase four state.
-	p4init     bool
-	acc        aggfunc.Value
-	idx        int        // current cluster being collected
-	got        int        // values received for collected[idx]
-	pendingAck sim.NodeID // sender to ack in slot three
-	announced  int        // r' heard (or self-announced) this step
-	ownSent    bool       // this node's value was acked by its parent
-	medIdx     int        // current mediator cluster
-	medAcked   map[sim.NodeID]bool
+	p4init       bool
+	acc          aggfunc.Value
+	idx          int        // current cluster being collected
+	got          int        // values received for collected[idx]
+	pendingAck   sim.NodeID // sender to ack in slot three
+	pendingAckCh int        // local channel the pending ack goes out on
+	announced    int        // r' heard (or self-announced) this step
+	ownSent      bool       // this node's value was acked by its parent
+	medIdx       int        // current mediator cluster
+	medAcked     map[sim.NodeID]bool
+	// mergedFrom records every sender whose value this node merged, across
+	// the whole round. A duplicate value (resent because the sender missed
+	// its ack under faults) is re-acked without re-merging — the "no
+	// duplicate contribution" recovery invariant. Cleared per round.
+	mergedFrom  []sim.NodeID
+	mergesTotal int // monotone merge counter (recovery progress metric)
 
 	maxMsgSize int
 	done       bool
@@ -145,6 +161,7 @@ func (nd *Node) Reinit(view sim.NodeView, source bool, n, phase1Len int, input i
 		cast:        cast,
 		p2start:     phase1Len,
 		p3start:     phase1Len + n,
+		p3base:      phase1Len + n,
 		p4start:     2*phase1Len + n,
 		r0:          -1,
 		parent:      sim.None,
@@ -153,6 +170,7 @@ func (nd *Node) Reinit(view sim.NodeView, source bool, n, phase1Len int, input i
 		roster:      nd.roster[:0],
 		medClusters: nd.medClusters[:0],
 		collected:   nd.collected[:0],
+		mergedFrom:  nd.mergedFrom[:0],
 		// Session backings survive too; RunRounds refills them per session.
 		rounds:        nd.rounds[:0],
 		results:       nd.results[:0],
@@ -169,6 +187,9 @@ func PhaseOneLength(n, c, k int, kappa float64) int {
 
 // Step implements sim.Protocol.
 func (nd *Node) Step(slot int) sim.Action {
+	if slot < nd.holdUntil {
+		return sim.Idle() // recovery backoff gap
+	}
 	switch {
 	case slot < nd.p2start:
 		return nd.cast.Step(slot)
@@ -230,13 +251,28 @@ func (nd *Node) stepPhase2() sim.Action {
 	return sim.Listen(nd.ch0)
 }
 
+// inRoster reports whether the node already holds a census entry for id.
+// Classically every id succeeds exactly once, so the scan never finds a
+// duplicate; under recovery a re-run census replays entries the node may
+// already hold.
+func (nd *Node) inRoster(id sim.NodeID) bool {
+	for _, e := range nd.roster {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
 func (nd *Node) deliverPhase2(ev sim.Event) {
 	switch ev.Kind {
 	case sim.EvSendSucceeded:
 		nd.censusDone = true
-		nd.roster = append(nd.roster, rosterEntry{id: nd.id, r: nd.r0})
+		if !nd.inRoster(nd.id) {
+			nd.roster = append(nd.roster, rosterEntry{id: nd.id, r: nd.r0})
+		}
 	case sim.EvSendFailed, sim.EvReceived:
-		if m, ok := ev.Msg.(censusMsg); ok {
+		if m, ok := ev.Msg.(censusMsg); ok && !nd.inRoster(m.ID) {
 			nd.roster = append(nd.roster, rosterEntry{id: m.ID, r: m.R})
 		}
 	}
@@ -291,9 +327,12 @@ func (nd *Node) initPhase3() {
 }
 
 // rewoundSlot maps a phase-three slot to the phase-one slot it replays:
-// phase-three slot i (0-based) rewinds phase-one slot l-1-i.
+// phase-three slot i (0-based, counted from the rewind anchor p3base)
+// rewinds phase-one slot p2start-1-i. Classically p3base == p3start and
+// p2start == l, giving the paper's l-1-i; after a recovery retry the
+// anchor moves so the whole (possibly extended) phase one replays again.
 func (nd *Node) rewoundSlot(slot int) int {
-	return nd.l - 1 - (slot - nd.p3start)
+	return nd.p2start - 1 - (slot - nd.p3base)
 }
 
 func (nd *Node) stepPhase3(slot int) sim.Action {
@@ -329,6 +368,15 @@ func (nd *Node) deliverPhase3(slot int, ev sim.Event) {
 	recs := nd.cast.Records()
 	if j < 0 || j >= len(recs) {
 		return
+	}
+	// An informer creates at most one cluster per phase-one slot, so r is a
+	// unique key. Classically each slot rewinds once and the scan finds
+	// nothing; a recovery retry replays the full rewind, so clusters the
+	// node already collected come around again.
+	for i := range nd.collected {
+		if nd.collected[i].r == m.R {
+			return
+		}
 	}
 	nd.collected = append(nd.collected, infCluster{r: m.R, ch: recs[j].Channel, size: m.Size})
 }
@@ -428,6 +476,7 @@ func (nd *Node) resetRound(r int) {
 	nd.announced = -1
 	nd.ownSent = false
 	nd.medIdx = 0
+	nd.mergedFrom = nd.mergedFrom[:0] // each round re-merges every child
 	if nd.isMediator {
 		nd.medAcked = make(map[sim.NodeID]bool)
 	}
@@ -484,11 +533,14 @@ func (nd *Node) stepPhase4(slot int) sim.Action {
 		}
 		return sim.Listen(nd.ch0)
 	default:
+		// A pending ack may also belong to a past cluster (duplicate
+		// resend under faults); it always names its own channel.
+		// Classically only the current receiver ever holds one, and
+		// pendingAckCh is then collected[idx].ch — identical behavior.
+		if nd.pendingAck != sim.None {
+			return sim.Broadcast(nd.pendingAckCh, ackMsg{ID: nd.pendingAck})
+		}
 		if receiver {
-			if nd.pendingAck != sim.None {
-				ack := ackMsg{ID: nd.pendingAck}
-				return sim.Broadcast(nd.collected[nd.idx].ch, ack)
-			}
 			return sim.Listen(nd.collected[nd.idx].ch)
 		}
 		return sim.Listen(nd.ch0)
@@ -511,10 +563,25 @@ func (nd *Node) deliverPhase4(slot int, ev sim.Event) {
 		if !ok {
 			return
 		}
-		if nd.idx < len(nd.collected) && m.R == nd.collected[nd.idx].r {
-			nd.acc = nd.f.Merge(nd.acc, m.Agg)
-			nd.got++
-			nd.pendingAck = m.Sender
+		for i := range nd.collected {
+			if nd.collected[i].r != m.R {
+				continue
+			}
+			if nd.hasMerged(m.Sender) {
+				// Duplicate resend (the sender missed our earlier ack
+				// under faults): re-ack without re-merging, so the
+				// sender's value contributes exactly once.
+				nd.pendingAck = m.Sender
+				nd.pendingAckCh = nd.collected[i].ch
+			} else if i == nd.idx {
+				nd.acc = nd.f.Merge(nd.acc, m.Agg)
+				nd.got++
+				nd.mergedFrom = append(nd.mergedFrom, m.Sender)
+				nd.mergesTotal++
+				nd.pendingAck = m.Sender
+				nd.pendingAckCh = nd.collected[i].ch
+			}
+			return
 		}
 	default:
 		m, ok := ev.Msg.(ackMsg)
@@ -581,3 +648,287 @@ func (nd *Node) MaxMessageSize() int { return nd.maxMsgSize }
 
 // InformerClusterCount returns how many clusters this node informed.
 func (nd *Node) InformerClusterCount() int { return len(nd.collected) }
+
+// --- Recovery hooks ----------------------------------------------------------
+//
+// Everything below exists for internal/recover's supervisor, which models a
+// reliable control plane around the radio protocol: it reads durable state,
+// extends phase windows, resets nodes to their last checkpoint, applies
+// membership changes, and re-elects mediators. None of these methods is
+// called on the classic path, and the few classic-path changes above
+// (dedup scans, the hold guard, the ack-channel indirection) are all
+// provably no-ops in fault-free runs, keeping them byte-identical.
+
+func (nd *Node) hasMerged(id sim.NodeID) bool {
+	for _, s := range nd.mergedFrom {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MissSlot records that the node was down (crashed) for slot: during phase
+// one the action log is padded so the phase-three rewind stays slot-aligned.
+// Later phases are event-driven and need no padding.
+func (nd *Node) MissSlot(slot int) {
+	if slot < nd.p2start {
+		nd.cast.MissSlot(slot)
+	}
+}
+
+// Restart recovers the node's state as a crash-restart at slot would.
+// The durability model (DESIGN.md §7) is WAL-before-use: every protocol
+// fact — the phase-one action log, census roster entries, collected
+// clusters, phase-four merges — is logged to stable storage before the
+// node acts on it, so all of them survive a crash (the state is a few
+// dozen words; a real node would fsync it). What a crash loses is
+// availability (the slots spent down, padded by MissSlot) and the
+// transient acknowledgement that the node's own census entry got
+// through: a node restarting mid-census conservatively re-broadcasts it
+// until a fresh success, which deliverPhase2's dedup makes a no-op on
+// its peers.
+func (nd *Node) Restart(slot int) {
+	if slot >= nd.p2start && slot < nd.p3start {
+		nd.censusDone = false
+	}
+}
+
+// Hold makes the node idle in every slot before until (a recovery backoff
+// gap). Holds only ever extend.
+func (nd *Node) Hold(until int) {
+	if until > nd.holdUntil {
+		nd.holdUntil = until
+	}
+}
+
+// ExtendPhase1 lengthens the phase-one window by extra slots, shifting the
+// later phases accordingly. The rewind window grows with phase one, so
+// phase four moves by twice the extension.
+func (nd *Node) ExtendPhase1(extra int) {
+	nd.p2start += extra
+	nd.p3start += extra
+	nd.p3base += extra
+	nd.p4start += 2 * extra
+}
+
+// ExtendCensus lengthens the census window by extra slots.
+func (nd *Node) ExtendCensus(extra int) {
+	nd.p3start += extra
+	nd.p3base += extra
+	nd.p4start += extra
+}
+
+// ResetCensus makes the node re-broadcast its census entry in the next
+// retry window while keeping the roster it has gathered so far. The
+// supervisor resets every node on a deficient channel together, so every
+// entry is re-announced and listeners that were down during a previous
+// window fill their holes — census progress accumulates monotonically
+// across retries (the dedup in deliverPhase2 keeps rosters
+// duplicate-free), which is what lets the census converge while outages
+// keep happening.
+func (nd *Node) ResetCensus() {
+	nd.censusDone = false
+}
+
+// RetryRewind re-anchors phase three at base: the full phase-one log
+// replays over [base, base+p2start). Slots before base map out of range
+// and the node idles through them. Clusters already collected are kept —
+// the replay re-offers every cluster and the dedup in deliverPhase3
+// ignores the ones the informer already holds, so rewind progress, like
+// the census's, accumulates across retries.
+func (nd *Node) RetryRewind(base int) {
+	nd.p3base = base
+	nd.p4start = base + nd.p2start
+}
+
+// Withdraw removes the node from the protocol (recovery pruning after the
+// retry budget is exhausted).
+func (nd *Node) Withdraw() { nd.done = true }
+
+// DropRosterEntry removes a pruned peer from the node's census roster.
+// Only meaningful before phase three derives cluster structure from it.
+func (nd *Node) DropRosterEntry(id sim.NodeID) {
+	out := nd.roster[:0]
+	for _, e := range nd.roster {
+		if e.id != id {
+			out = append(out, e)
+		}
+	}
+	nd.roster = out
+}
+
+// DropCollected removes the cluster informed at phase-one slot r from the
+// node's collected list (the cluster's members were pruned). Only
+// meaningful before phase four starts consuming the list.
+func (nd *Node) DropCollected(r int) {
+	out := nd.collected[:0]
+	for _, c := range nd.collected {
+		if c.r != r {
+			out = append(out, c)
+		}
+	}
+	nd.collected = out
+}
+
+// DropMedMember removes a pruned node from every cluster the mediator
+// coordinates, dropping clusters that become empty. Only valid before
+// phase four begins (medIdx 0, no acks recorded yet).
+func (nd *Node) DropMedMember(id sim.NodeID) {
+	if !nd.isMediator {
+		return
+	}
+	out := nd.medClusters[:0]
+	for _, cl := range nd.medClusters {
+		delete(cl.members, id)
+		if len(cl.members) > 0 {
+			out = append(out, cl)
+		}
+	}
+	nd.medClusters = out
+}
+
+// Demote strips the node of its mediator role (it was re-elected away, or
+// its channel's clusters were all pruned).
+func (nd *Node) Demote() {
+	nd.isMediator = false
+	nd.medClusters = nd.medClusters[:0]
+	nd.medAcked = nil
+}
+
+// AssumeMediator makes the node the mediator of its channel, rebuilding
+// the cluster schedule from its own durable roster. acked reports whether
+// a member's value has already been acked (so fully-collected clusters are
+// fast-forwarded past and partially-collected ones resume mid-cluster);
+// skip reports members the supervisor has pruned. Either may be nil.
+func (nd *Node) AssumeMediator(acked, skip func(sim.NodeID) bool) {
+	nd.isMediator = true
+	nd.medClusters = nd.medClusters[:0]
+	byR := make(map[int][]sim.NodeID)
+	for _, e := range nd.roster {
+		if skip != nil && skip(e.id) {
+			continue
+		}
+		byR[e.r] = append(byR[e.r], e.id)
+	}
+	rs := make([]int, 0, len(byR))
+	for r := range byR {
+		rs = append(rs, r)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rs)))
+	for _, r := range rs {
+		members := make(map[sim.NodeID]bool, len(byR[r]))
+		for _, id := range byR[r] {
+			members[id] = true
+		}
+		nd.medClusters = append(nd.medClusters, medCluster{r: r, members: members})
+	}
+	nd.medIdx = 0
+	nd.medAcked = make(map[sim.NodeID]bool)
+	for nd.medIdx < len(nd.medClusters) {
+		cl := nd.medClusters[nd.medIdx]
+		for id := range cl.members {
+			if acked != nil && acked(id) {
+				nd.medAcked[id] = true
+			}
+		}
+		if len(nd.medAcked) < len(cl.members) {
+			break
+		}
+		nd.medIdx++
+		nd.medAcked = make(map[sim.NodeID]bool)
+	}
+}
+
+// MarkOwnSent records that the node's value reached its parent (the
+// supervisor reconciled a lost ack against the parent's durable state).
+func (nd *Node) MarkOwnSent() { nd.ownSent = true }
+
+// MarkMedAcked records on the mediator that member id's value was acked,
+// exactly as hearing the ack on-channel would, advancing the cluster
+// pointer when the current cluster completes.
+func (nd *Node) MarkMedAcked(id sim.NodeID) {
+	if !nd.isMediator || nd.medIdx >= len(nd.medClusters) {
+		return
+	}
+	cl := nd.medClusters[nd.medIdx]
+	if cl.members[id] && !nd.medAcked[id] {
+		nd.medAcked[id] = true
+		if len(nd.medAcked) == len(cl.members) {
+			nd.medIdx++
+			nd.medAcked = make(map[sim.NodeID]bool)
+		}
+	}
+}
+
+// MedPending calls f for every member of the mediator's current cluster
+// whose value has not been acked yet. Iteration order is unspecified;
+// callers that need determinism must sort.
+func (nd *Node) MedPending(f func(sim.NodeID)) {
+	if !nd.isMediator || nd.medIdx >= len(nd.medClusters) {
+		return
+	}
+	for id := range nd.medClusters[nd.medIdx].members {
+		if !nd.medAcked[id] {
+			f(id)
+		}
+	}
+}
+
+// HasMerged reports whether this node merged a value from id in the
+// current round (durable, WAL-backed).
+func (nd *Node) HasMerged(id sim.NodeID) bool { return nd.hasMerged(id) }
+
+// CensusDone reports whether the node's census broadcast has succeeded.
+func (nd *Node) CensusDone() bool { return nd.censusDone }
+
+// InformedChannel returns the node's local index of the channel it was
+// informed on (0 if never informed).
+func (nd *Node) InformedChannel() int {
+	if !nd.p2init {
+		return nd.cast.InformedChannel()
+	}
+	return nd.ch0
+}
+
+// RosterSnapshot calls f for every entry in the node's census roster, in
+// roster order.
+func (nd *Node) RosterSnapshot(f func(id sim.NodeID, r int)) {
+	for _, e := range nd.roster {
+		f(e.id, e.r)
+	}
+}
+
+// CollectedSnapshot calls f for every cluster the node informed, in
+// collection order.
+func (nd *Node) CollectedSnapshot(f func(r, ch, size int)) {
+	for _, c := range nd.collected {
+		f(c.r, c.ch, c.size)
+	}
+}
+
+// OwnSent reports whether the node's value was acked by its parent.
+func (nd *Node) OwnSent() bool { return nd.ownSent }
+
+// MedRemaining returns how many clusters the mediator still has to
+// coordinate (0 for non-mediators).
+func (nd *Node) MedRemaining() int {
+	if !nd.isMediator {
+		return 0
+	}
+	return len(nd.medClusters) - nd.medIdx
+}
+
+// Progress returns a monotone per-node progress counter: merges performed,
+// mediator clusters completed, own value delivered, protocol finished.
+// The recovery supervisor sums it across nodes to detect stalls.
+func (nd *Node) Progress() int {
+	p := nd.mergesTotal + nd.medIdx
+	if nd.ownSent {
+		p++
+	}
+	if nd.done {
+		p++
+	}
+	return p
+}

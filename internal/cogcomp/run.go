@@ -40,6 +40,13 @@ type Config struct {
 	Check bool
 }
 
+// DefaultMaxSlots is the slot budget Run uses when Config.MaxSlots is
+// zero: phases 1-3 take 2l+n slots, phase four needs at most about 3(n+l)
+// slots per the Theorem 10 induction; double it for slack.
+func DefaultMaxSlots(n, l int) int {
+	return (2*l + n) + 6*(n+l) + 96
+}
+
 // Result reports one COGCOMP execution.
 type Result struct {
 	// Value is the aggregate held by the source at termination.
@@ -87,8 +94,10 @@ func (a *Arena) SetCheck(on bool) { a.forceCheck = on }
 // run has happened.
 func (a *Arena) Checker() *invariant.Checker { return a.checker }
 
-// build (re)initializes n nodes and the engine for one execution.
-func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input func(i int) int64, f aggfunc.Func, seed int64, engOpts []sim.Option) error {
+// build (re)initializes n nodes and the engine for one execution. wrap,
+// when non-nil, maps each node to the protocol the engine drives (e.g. a
+// fault-injection wrapper); nil drives the nodes directly.
+func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input func(i int) int64, f aggfunc.Func, seed int64, engOpts []sim.Option, wrap func(sim.NodeID, *Node) sim.Protocol) error {
 	if cap(a.nodes) < n {
 		a.nodes = append(a.nodes[:cap(a.nodes)], make([]*Node, n-cap(a.nodes))...)
 		a.protos = make([]sim.Protocol, n)
@@ -100,7 +109,11 @@ func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input fun
 			a.nodes[i] = &Node{}
 		}
 		a.nodes[i].Reinit(sim.View(asn, sim.NodeID(i)), sim.NodeID(i) == source, n, l, input(i), f, seed)
-		a.protos[i] = a.nodes[i]
+		if wrap == nil {
+			a.protos[i] = a.nodes[i]
+		} else {
+			a.protos[i] = wrap(sim.NodeID(i), a.nodes[i])
+		}
 	}
 	if a.eng == nil {
 		eng, err := sim.NewEngine(asn, a.protos, seed, engOpts...)
@@ -113,15 +126,21 @@ func (a *Arena) build(asn sim.Assignment, source sim.NodeID, n, l int, input fun
 	return a.eng.Reset(asn, a.protos, seed, engOpts...)
 }
 
-// Run executes COGCOMP exactly as the package-level Run does, reusing the
-// arena's nodes and engine.
-func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+// Prepare validates the run parameters and (re)initializes the arena's
+// nodes and engine for one execution without running it: configuration
+// defaulting, observer wiring (trace recorder, invariant checker) and node
+// construction, exactly as Run performs them. It returns the nodes, the
+// engine, and the phase-one length l. internal/recover's supervisor uses
+// Prepare to take over the slot loop while staying draw-for-draw identical
+// to the classic runner; wrap lets it interpose fault-injection wrappers
+// between the engine and the nodes.
+func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config, wrap func(sim.NodeID, *Node) sim.Protocol) ([]*Node, *sim.Engine, int, error) {
 	n := asn.Nodes()
 	if source < 0 || int(source) >= n {
-		return nil, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
+		return nil, nil, 0, fmt.Errorf("cogcomp: source %d outside [0,%d)", source, n)
 	}
 	if len(inputs) != n {
-		return nil, fmt.Errorf("cogcomp: got %d inputs for %d nodes", len(inputs), n)
+		return nil, nil, 0, fmt.Errorf("cogcomp: got %d inputs for %d nodes", len(inputs), n)
 	}
 	kappa := cfg.Kappa
 	if kappa == 0 {
@@ -132,12 +151,6 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 		f = aggfunc.Sum{}
 	}
 	l := PhaseOneLength(n, asn.PerNode(), asn.MinOverlap(), kappa)
-	maxSlots := cfg.MaxSlots
-	if maxSlots == 0 {
-		// Phases 1-3 take 2l+n slots; phase four needs at most about
-		// 3(n+l) slots per the Theorem 10 induction. Double it for slack.
-		maxSlots = (2*l + n) + 6*(n+l) + 96
-	}
 
 	check := cfg.Check || a.forceCheck
 	a.engOpts = a.engOpts[:0]
@@ -147,7 +160,7 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	}
 	if check {
 		if err := invariant.CheckAssignment(asn, 0); err != nil {
-			return nil, fmt.Errorf("cogcomp: %w", err)
+			return nil, nil, 0, fmt.Errorf("cogcomp: %w", err)
 		}
 		if a.checker == nil {
 			a.checker = new(invariant.Checker)
@@ -158,12 +171,30 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	if obs != nil {
 		a.engOpts = append(a.engOpts, sim.WithObserver(obs))
 	}
-	if err := a.build(asn, source, n, l, func(i int) int64 { return inputs[i] }, f, seed, a.engOpts); err != nil {
+	if err := a.build(asn, source, n, l, func(i int) int64 { return inputs[i] }, f, seed, a.engOpts, wrap); err != nil {
+		return nil, nil, 0, err
+	}
+	return a.nodes, a.eng, l, nil
+}
+
+// Run executes COGCOMP exactly as the package-level Run does, reusing the
+// arena's nodes and engine.
+func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+	n := asn.Nodes()
+	nodes, eng, l, err := a.Prepare(asn, source, inputs, seed, cfg, nil)
+	if err != nil {
 		return nil, err
 	}
-	nodes, eng := a.nodes, a.eng
+	f := cfg.Func
+	if f == nil {
+		f = aggfunc.Sum{}
+	}
+	check := cfg.Check || a.forceCheck
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = DefaultMaxSlots(n, l)
+	}
 	var total int
-	var err error
 	if cfg.Trace == nil {
 		total, err = eng.Run(maxSlots)
 	} else {

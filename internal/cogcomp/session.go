@@ -102,7 +102,7 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 		a.checker.Reset(asn, sim.UniformWinner)
 		a.engOpts = append(a.engOpts, sim.WithObserver(a.checker))
 	}
-	if err := a.build(asn, source, n, l, func(i int) int64 { return rounds[0][i] }, f, seed, a.engOpts); err != nil {
+	if err := a.build(asn, source, n, l, func(i int) int64 { return rounds[0][i] }, f, seed, a.engOpts, nil); err != nil {
 		return nil, err
 	}
 	nodes := a.nodes

@@ -42,7 +42,7 @@ func runE23(cfg Config) ([]*Table, error) {
 				return lbResult{}, err
 			}
 			inputs := a.experInputs(p.n, ts)
-			res, err := a.comp.Run(asn, 0, inputs, ts, cogcomp.Config{})
+			res, err := a.compRun(cfg, asn, 0, inputs, ts, cogcomp.Config{})
 			if err != nil {
 				return lbResult{}, err
 			}

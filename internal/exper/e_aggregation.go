@@ -58,7 +58,7 @@ func cogcompTrials(cfg Config, trials int, seed int64, f aggfunc.Func, build fun
 			return compResult{}, err
 		}
 		inputs := a.experInputs(asn.Nodes(), ts)
-		res, err := a.comp.Run(asn, 0, inputs, ts, cogcomp.Config{Func: f})
+		res, err := a.compRun(cfg, asn, 0, inputs, ts, cogcomp.Config{Func: f})
 		if err != nil {
 			return compResult{}, err
 		}

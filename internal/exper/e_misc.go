@@ -123,7 +123,7 @@ func runE11(cfg Config) ([]*Table, error) {
 	t := &Table{
 		Title:   "E11: COGCAST completion under n-uniform jamming (n=8, c=16)",
 		Claim:   "slots track SlotBound(n, c, c−2·kJam)",
-		Columns: []string{"kJam", "k = c-2kJam", "random median", "sweep median", "split median", "reference (c/k)(c/n)lg n"},
+		Columns: []string{"kJam", "k = c-2kJam", "random median", "sweep median", "block median", "split median", "reference (c/k)(c/n)lg n"},
 	}
 	for _, kj := range budgets {
 		k := c - 2*kj
@@ -132,6 +132,7 @@ func runE11(cfg Config) ([]*Table, error) {
 		jammers := []func(ts int64) jamming.Jammer{
 			func(ts int64) jamming.Jammer { return jamming.NewRandomJammer(c, kj, ts) },
 			func(int64) jamming.Jammer { return jamming.NewSweepJammer(c, kj) },
+			func(int64) jamming.Jammer { return jamming.NewBlockSweepJammer(c, kj, 8) },
 			func(int64) jamming.Jammer { return jamming.NewSplitJammer(c, kj, 4) },
 		}
 		for _, build := range jammers {

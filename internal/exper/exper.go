@@ -18,7 +18,9 @@ import (
 	"github.com/cogradio/crn/internal/cogcast"
 	"github.com/cogradio/crn/internal/cogcomp"
 	"github.com/cogradio/crn/internal/parallel"
+	recov "github.com/cogradio/crn/internal/recover"
 	"github.com/cogradio/crn/internal/rng"
+	"github.com/cogradio/crn/internal/sim"
 	"github.com/cogradio/crn/internal/trace"
 )
 
@@ -51,6 +53,13 @@ type Config struct {
 	// Any violation fails the experiment. Tables are unchanged — the
 	// oracle only observes — at the cost of slower trials.
 	Check bool
+	// Recover routes every COGCOMP trial through the crash-restart
+	// recovery supervisor (package recover) instead of the classic
+	// runner. Fault-free supervised runs are byte-identical to the
+	// classic path, so every table stays unchanged; the flag exists to
+	// prove exactly that (E27) and to let fault experiments (E26) measure
+	// recovery itself.
+	Recover bool
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -86,8 +95,46 @@ type arena struct {
 	assign assign.Builder
 	cast   cogcast.Arena
 	comp   cogcomp.Arena
+	rec    recov.Arena
 	inRand *rand.Rand
 	in     []int64
+}
+
+// compRun executes one COGCOMP aggregation on this arena: through the
+// crash-restart recovery supervisor when cfg.Recover is set, through the
+// classic runner otherwise. Fault-free supervised runs are byte-identical
+// to the classic path (TestRecoverByteIdentity pins this across the whole
+// quick suite), so flipping Recover never changes a fault-free table.
+func (a *arena) compRun(cfg Config, asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, ccfg cogcomp.Config) (*cogcomp.Result, error) {
+	if !cfg.Recover {
+		return a.comp.Run(asn, source, inputs, seed, ccfg)
+	}
+	res, err := a.rec.Run(asn, source, inputs, seed, recov.Config{
+		Kappa:    ccfg.Kappa,
+		Func:     ccfg.Func,
+		MaxSlots: ccfg.MaxSlots,
+		Trace:    ccfg.Trace,
+		Check:    ccfg.Check,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, cogcomp.ErrIncomplete
+	}
+	return &cogcomp.Result{
+		Value:               res.Value,
+		Complete:            res.Complete,
+		TotalSlots:          res.TotalSlots,
+		Phase1Slots:         res.Phase1Slots,
+		Phase2Slots:         res.Phase2Slots,
+		Phase3Slots:         res.Phase3Slots,
+		Phase4Slots:         res.Phase4Slots,
+		InformedAfterPhase1: res.InformedAfterPhase1,
+		Parents:             res.Parents,
+		MaxMessageSize:      res.MaxMessageSize,
+		Mediators:           res.Mediators,
+	}, nil
 }
 
 // experInputs fills the arena's input scratch with the standard experiment
@@ -127,6 +174,7 @@ func forTrials[T any](cfg Config, trials int, fn func(trial int, a *arena) (T, e
 			// run-configuration site.
 			a.cast.SetCheck(true)
 			a.comp.SetCheck(true)
+			a.rec.SetCheck(true)
 		}
 		return a
 	}, fn)

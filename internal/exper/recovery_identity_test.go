@@ -1,0 +1,89 @@
+package exper
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRecoverByteIdentity replays the COGCOMP-bearing experiments with
+// Config.Recover set — routing every trial through the crash-restart
+// supervisor — and requires the rendered tables to stay byte-identical to
+// the classic runner's, at more than one parallelism level. This is the
+// contract that lets `cogbench -recover` regenerate EXPERIMENTS.md without
+// touching a single fault-free number. E4 covers shared-core assignments,
+// E14 all three aggregate kinds (including collect's large messages), E23
+// the full-overlap lower-bound setup.
+func TestRecoverByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, id := range []string{"E4", "E14", "E23"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(recover bool, workers int) string {
+				tables, err := e.Run(Config{Seed: 7, Trials: 3, Quick: true, Recover: recover, Parallel: workers})
+				if err != nil {
+					t.Fatalf("%s (recover=%v, parallel=%d): %v", id, recover, workers, err)
+				}
+				return renderAll(t, tables)
+			}
+			classic := render(false, 1)
+			for _, workers := range []int{1, 4} {
+				if got := render(true, workers); got != classic {
+					t.Errorf("%s: recovery-enabled tables at %d workers differ from classic:\n--- recover ---\n%s\n--- classic ---\n%s",
+						id, workers, got, classic)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverQuickSuite runs the two recovery experiments end to end in
+// their quick configuration with the oracle armed, and spot-checks the
+// E26/E27 verdict cells: the fault-free rows must show overhead 1.00, and
+// every E27 row must report identity.
+func TestRecoverQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, id := range []string{"E26", "E27"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := e.Run(Config{Seed: 7, Trials: 3, Quick: true, Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) != 1 || len(tables[0].Rows) == 0 {
+				t.Fatalf("%s: unexpected table shape", id)
+			}
+			tb := tables[0]
+			switch id {
+			case "E26":
+				// Row 0 is the fault-free rate: all trials exact, overhead 1.00.
+				row := tb.Rows[0]
+				if row[1] != fmt.Sprintf("%d/%d", 3, 3) {
+					t.Errorf("E26 fault-free exact = %q, want 3/3", row[1])
+				}
+				if row[5] != "1.00" {
+					t.Errorf("E26 fault-free overhead = %q, want 1.00", row[5])
+				}
+			case "E27":
+				for _, row := range tb.Rows {
+					if row[6] != "1.00" || row[7] != "yes" {
+						t.Errorf("E27 row %v: overhead/identical = %q/%q, want 1.00/yes", row[0], row[6], row[7])
+					}
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,22 @@ func TestParallelWorkerStress(t *testing.T) {
 	rnd := rand.New(rand.NewSource(20260806))
 	rnd.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	subset := all[:4]
+	// Always include the recovery experiment: the supervisor's epoch
+	// retries and fault wrappers only run under E26, and the race detector
+	// should see that path across worker counts too.
+	hasRecovery := false
+	for _, e := range subset {
+		if e.ID == "E26" {
+			hasRecovery = true
+		}
+	}
+	if !hasRecovery {
+		e26, err := ByID("E26")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subset = append(subset, e26)
+	}
 	for _, e := range subset {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

@@ -91,6 +91,64 @@ func (r *RandomOutages) Up(node sim.NodeID, slot int) bool {
 	return true
 }
 
+// CorrelatedOutages takes whole clusters of adjacent nodes down together —
+// modelling co-located radios that share a power feed or lose a band at
+// once. Nodes are grouped into consecutive blocks of groupSize ids; each
+// group independently starts an outage with probability p per slot, and
+// every unprotected member of the group is down for its duration. Outage
+// starts are derived from (seed, group, slot), so runs are reproducible.
+type CorrelatedOutages struct {
+	p         float64
+	duration  int
+	groupSize int
+	seed      int64
+	protect   map[sim.NodeID]bool
+}
+
+var _ Schedule = (*CorrelatedOutages)(nil)
+
+// NewCorrelatedOutages builds a schedule where each block of groupSize
+// consecutive node ids goes down together with per-slot probability p for
+// duration slots. Protected nodes never fail even when their group does.
+func NewCorrelatedOutages(p float64, duration, groupSize int, seed int64, protect ...sim.NodeID) (*CorrelatedOutages, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("faults: outage probability %v outside [0,1)", p)
+	}
+	if duration < 1 {
+		return nil, fmt.Errorf("faults: outage duration %d must be positive", duration)
+	}
+	if groupSize < 1 {
+		return nil, fmt.Errorf("faults: group size %d must be positive", groupSize)
+	}
+	prot := make(map[sim.NodeID]bool, len(protect))
+	for _, id := range protect {
+		prot[id] = true
+	}
+	return &CorrelatedOutages{p: p, duration: duration, groupSize: groupSize, seed: seed, protect: prot}, nil
+}
+
+// Name implements Schedule.
+func (*CorrelatedOutages) Name() string { return "correlated-outages" }
+
+// Up implements Schedule: the node is down in slot t if its group started
+// an outage in any of the slots (t-duration, t].
+func (c *CorrelatedOutages) Up(node sim.NodeID, slot int) bool {
+	if c.protect[node] {
+		return true
+	}
+	group := int64(node) / int64(c.groupSize)
+	start := slot - c.duration + 1
+	if start < 0 {
+		start = 0
+	}
+	for s := start; s <= slot; s++ {
+		if rng.Uniform01(c.seed, group, int64(s), 0xc011) < c.p {
+			return false
+		}
+	}
+	return true
+}
+
 // Blackout takes a fixed set of nodes down during one interval — the
 // deterministic worst-case "a whole region lost power" fault.
 type Blackout struct {
@@ -133,6 +191,18 @@ type Crasher struct {
 	downed   int
 	down     bool
 	sink     trace.Sink
+	restart  Restartable
+	restarts int
+}
+
+// Restartable is the contract crash-restart faults need from a protocol:
+// MissSlot records a slot the node was down for (so slot-aligned state
+// such as COGCOMP's phase-one action log stays consistent), and Restart
+// wipes whatever state the protocol's durability model declares volatile
+// at the given slot. cogcomp.Node implements it.
+type Restartable interface {
+	MissSlot(slot int)
+	Restart(slot int)
 }
 
 var _ sim.Protocol = (*Crasher)(nil)
@@ -145,6 +215,16 @@ type Option func(*Crasher)
 // callers can pass a possibly-nil sink through unconditionally.
 func WithTrace(sink trace.Sink) Option {
 	return func(c *Crasher) { c.sink = sink }
+}
+
+// WithRestart turns outages into crash-restarts: while down the inner
+// protocol's missed slots are recorded, and when the node comes back its
+// volatile state is wiped (Restartable.Restart) — it returns with what its
+// durability model preserved, not a frozen snapshot. If the inner protocol
+// does not implement Restartable the option silently degrades to the plain
+// outage (silence-only) behavior.
+func WithRestart() Option {
+	return func(c *Crasher) { c.restart, _ = c.inner.(Restartable) }
 }
 
 // Wrap decorates a protocol with the fault schedule.
@@ -164,9 +244,20 @@ func (c *Crasher) Step(slot int) sim.Action {
 		if c.sink != nil {
 			c.sink.Emit(trace.FaultEvent(slot, int(c.id), c.down))
 		}
+		if up && c.restart != nil {
+			// The node comes back from a crash: wipe volatile state.
+			c.restart.Restart(slot)
+			c.restarts++
+			if c.sink != nil {
+				c.sink.Emit(trace.RestartEvent(slot, int(c.id)))
+			}
+		}
 	}
 	if !up {
 		c.downed++
+		if c.restart != nil {
+			c.restart.MissSlot(slot)
+		}
 		return sim.Idle()
 	}
 	return c.inner.Step(slot)
@@ -182,3 +273,10 @@ func (c *Crasher) Done() bool { return c.inner.Done() }
 
 // DownSlots returns how many slots the node spent offline.
 func (c *Crasher) DownSlots() int { return c.downed }
+
+// Down reports whether the node is currently offline (as of its last Step).
+func (c *Crasher) Down() bool { return c.down }
+
+// Restarts returns how many crash-restarts the node performed (always zero
+// without WithRestart).
+func (c *Crasher) Restarts() int { return c.restarts }

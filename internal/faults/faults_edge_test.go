@@ -1,0 +1,268 @@
+package faults_test
+
+import (
+	"testing"
+
+	"github.com/cogradio/crn/internal/assign"
+	"github.com/cogradio/crn/internal/cogcast"
+	"github.com/cogradio/crn/internal/faults"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestCorrelatedOutagesValidation(t *testing.T) {
+	if _, err := faults.NewCorrelatedOutages(1.0, 5, 4, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := faults.NewCorrelatedOutages(-0.1, 5, 4, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := faults.NewCorrelatedOutages(0.1, 0, 4, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := faults.NewCorrelatedOutages(0.1, 5, 0, 1); err == nil {
+		t.Error("zero group size accepted")
+	}
+	s, err := faults.NewCorrelatedOutages(0.1, 5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "correlated-outages" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestCorrelatedOutagesGroupsFailTogether(t *testing.T) {
+	const groupSize = 4
+	s, err := faults.NewCorrelatedOutages(0.05, 6, groupSize, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDown := false
+	for slot := 0; slot < 500; slot++ {
+		for group := sim.NodeID(0); group < 4; group++ {
+			first := group * groupSize
+			up := s.Up(first, slot)
+			if !up {
+				sawDown = true
+			}
+			for member := first + 1; member < first+groupSize; member++ {
+				if s.Up(member, slot) != up {
+					t.Fatalf("slot %d: node %d disagrees with group-mate %d", slot, member, first)
+				}
+			}
+		}
+	}
+	if !sawDown {
+		t.Error("no outage in 500 slots at p=0.05; schedule looks inert")
+	}
+}
+
+func TestCorrelatedOutagesIndependentGroups(t *testing.T) {
+	// Different groups must not be lockstep copies of each other.
+	s, err := faults.NewCorrelatedOutages(0.05, 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for slot := 0; slot < 1000 && !differs; slot++ {
+		if s.Up(0, slot) != s.Up(2, slot) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("groups 0 and 1 share an identical outage pattern over 1000 slots")
+	}
+}
+
+func TestCorrelatedOutagesDeterministic(t *testing.T) {
+	a, _ := faults.NewCorrelatedOutages(0.1, 4, 3, 99)
+	b, _ := faults.NewCorrelatedOutages(0.1, 4, 3, 99)
+	for slot := 0; slot < 200; slot++ {
+		for node := sim.NodeID(0); node < 9; node++ {
+			if a.Up(node, slot) != b.Up(node, slot) {
+				t.Fatalf("slot %d node %d: same (seed, slot) gave different answers", slot, node)
+			}
+		}
+	}
+}
+
+func TestCorrelatedOutagesProtection(t *testing.T) {
+	s, err := faults.NewCorrelatedOutages(0.9, 3, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 100; slot++ {
+		if !s.Up(1, slot) {
+			t.Fatalf("protected node 1 down at slot %d despite its group failing", slot)
+		}
+	}
+}
+
+func TestBlackoutDurationZero(t *testing.T) {
+	// An empty interval [5, 5) is valid and never takes anyone down.
+	b, err := faults.NewBlackout(5, 5, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 20; slot++ {
+		for node := sim.NodeID(0); node < 3; node++ {
+			if !b.Up(node, slot) {
+				t.Fatalf("zero-length blackout took node %d down at slot %d", node, slot)
+			}
+		}
+	}
+}
+
+func TestRandomOutagesEmptyProtectList(t *testing.T) {
+	// No protect argument at all: every node is eligible to fail.
+	s, err := faults.NewRandomOutages(0.9, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := sim.NodeID(0); node < 4; node++ {
+		down := false
+		for slot := 0; slot < 100; slot++ {
+			if !s.Up(node, slot) {
+				down = true
+				break
+			}
+		}
+		if !down {
+			t.Errorf("node %d never failed at p=0.9 with an empty protect list", node)
+		}
+	}
+}
+
+func TestAllNodesProtectedEqualsAlwaysUp(t *testing.T) {
+	const n = 8
+	ids := make([]sim.NodeID, n)
+	for i := range ids {
+		ids[i] = sim.NodeID(i)
+	}
+	ro, err := faults.NewRandomOutages(0.99, 5, 17, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := faults.NewCorrelatedOutages(0.99, 5, 2, 17, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := faults.AlwaysUp{}
+	for slot := 0; slot < 300; slot++ {
+		for _, id := range ids {
+			if ro.Up(id, slot) != up.Up(id, slot) {
+				t.Fatalf("all-protected RandomOutages differs from AlwaysUp at node %d slot %d", id, slot)
+			}
+			if co.Up(id, slot) != up.Up(id, slot) {
+				t.Fatalf("all-protected CorrelatedOutages differs from AlwaysUp at node %d slot %d", id, slot)
+			}
+		}
+	}
+}
+
+func TestCrasherUnderDynamicAssignments(t *testing.T) {
+	// COGCAST tolerates dynamic channel assignments (Theorem 17) and the
+	// Crasher must not disturb that: a blackout over a dynamic assignment
+	// still completes once the nodes come back.
+	const n, c, k = 16, 6, 3
+	asn, err := assign.NewDynamic(n, c, k, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := faults.NewBlackout(3, 30, 4, 5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*cogcast.Node, n)
+	protos := make([]sim.Protocol, n)
+	for i := range nodes {
+		nodes[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), i == 0, "m", 11)
+		protos[i] = faults.Wrap(nodes[i], sim.NodeID(i), schedule)
+	}
+	eng, err := sim.NewEngine(asn, protos, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allInformed := func() bool {
+		for _, nd := range nodes {
+			if !nd.Informed() {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := eng.RunWhile(50000, func() bool { return !allInformed() }); err != nil {
+		t.Fatal(err)
+	}
+	if !allInformed() {
+		t.Fatal("COGCAST under a Crasher on a dynamic assignment never completed")
+	}
+}
+
+// restartProbe records the Restartable calls a Crasher makes.
+type restartProbe struct {
+	missed    []int
+	restarted []int
+	step      int
+}
+
+func (p *restartProbe) Step(slot int) sim.Action { p.step++; return sim.Idle() }
+func (p *restartProbe) Deliver(int, sim.Event)   {}
+func (p *restartProbe) Done() bool               { return false }
+func (p *restartProbe) MissSlot(slot int)        { p.missed = append(p.missed, slot) }
+func (p *restartProbe) Restart(slot int)         { p.restarted = append(p.restarted, slot) }
+
+func TestCrasherWithRestart(t *testing.T) {
+	b, err := faults.NewBlackout(2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &restartProbe{}
+	c := faults.Wrap(probe, 1, b, faults.WithRestart())
+	for slot := 0; slot < 8; slot++ {
+		c.Step(slot)
+	}
+	if got, want := len(probe.missed), 3; got != want {
+		t.Fatalf("MissSlot called %d times (%v), want %d", got, probe.missed, want)
+	}
+	for i, slot := range []int{2, 3, 4} {
+		if probe.missed[i] != slot {
+			t.Fatalf("missed slots %v, want [2 3 4]", probe.missed)
+		}
+	}
+	if len(probe.restarted) != 1 || probe.restarted[0] != 5 {
+		t.Fatalf("Restart calls %v, want [5]", probe.restarted)
+	}
+	if c.Restarts() != 1 {
+		t.Errorf("Restarts() = %d, want 1", c.Restarts())
+	}
+	if c.Down() {
+		t.Error("Down() still true after recovery")
+	}
+	if probe.step != 5 { // slots 0, 1, 5, 6, 7
+		t.Errorf("inner Step called %d times, want 5", probe.step)
+	}
+}
+
+func TestCrasherWithRestartDegradesGracefully(t *testing.T) {
+	// A protocol that is not Restartable keeps the plain outage behavior.
+	b, err := faults.NewBlackout(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := assign.FullOverlap(2, 1, assign.LocalLabels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := cogcast.New(sim.View(asn, 1), true, "x", 1)
+	c := faults.Wrap(inner, 1, b, faults.WithRestart())
+	for slot := 0; slot < 4; slot++ {
+		c.Step(slot)
+	}
+	if c.Restarts() != 0 {
+		t.Errorf("non-Restartable inner counted %d restarts", c.Restarts())
+	}
+	if c.DownSlots() != 3 {
+		t.Errorf("DownSlots = %d, want 3", c.DownSlots())
+	}
+}

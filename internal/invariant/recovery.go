@@ -1,0 +1,83 @@
+package invariant
+
+import (
+	"fmt"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Checkpoint is one entry of the recovery supervisor's checkpoint log
+// (package recover): node committed its epoch checkpoint at slot, under
+// the supervisor's monotonically increasing generation counter.
+type Checkpoint struct {
+	Node  sim.NodeID
+	Epoch int // 1-4, mirroring the COGCOMP phases
+	Gen   int // supervisor generation at commit time
+	Slot  int // engine slot at commit time
+}
+
+// CheckCheckpointLog verifies the recovery-safety invariants of a
+// checkpoint log: per node, generations strictly increase, epochs never
+// regress (a retry re-executes an epoch but commits it only once), and
+// commit slots never move backwards.
+func CheckCheckpointLog(log []Checkpoint) error {
+	last := make(map[sim.NodeID]Checkpoint, 16)
+	for i, c := range log {
+		if c.Epoch < 1 || c.Epoch > 4 {
+			return fmt.Errorf("invariant: checkpoint %d: epoch %d outside [1,4]", i, c.Epoch)
+		}
+		if c.Slot < 0 {
+			return fmt.Errorf("invariant: checkpoint %d: negative slot %d", i, c.Slot)
+		}
+		if prev, ok := last[c.Node]; ok {
+			if c.Gen <= prev.Gen {
+				return fmt.Errorf("invariant: node %d checkpoint generation %d does not advance past %d", c.Node, c.Gen, prev.Gen)
+			}
+			if c.Epoch < prev.Epoch {
+				return fmt.Errorf("invariant: node %d checkpoint epoch regressed %d -> %d", c.Node, prev.Epoch, c.Epoch)
+			}
+			if c.Slot < prev.Slot {
+				return fmt.Errorf("invariant: node %d checkpoint slot regressed %d -> %d", c.Node, prev.Slot, c.Slot)
+			}
+		}
+		last[c.Node] = c
+	}
+	return nil
+}
+
+// CheckContribution verifies the no-duplicate-contribution invariant of a
+// recovered aggregation: the reported value must equal the fold of exactly
+// the contributors' inputs — each contributing once, none dropped, none
+// double-merged after a retry. Contributor ids must be unique and in
+// range.
+func CheckContribution(f aggfunc.Func, inputs []int64, contributors []sim.NodeID, got aggfunc.Value) error {
+	if f == nil {
+		return fmt.Errorf("invariant: contribution check needs an aggregate function")
+	}
+	if len(contributors) == 0 {
+		return fmt.Errorf("invariant: empty contributor set")
+	}
+	seen := make(map[sim.NodeID]bool, len(contributors))
+	var want aggfunc.Value
+	for i, id := range contributors {
+		if id < 0 || int(id) >= len(inputs) {
+			return fmt.Errorf("invariant: contributor %d outside [0,%d)", id, len(inputs))
+		}
+		if seen[id] {
+			return fmt.Errorf("invariant: node %d contributes twice", id)
+		}
+		seen[id] = true
+		leaf := f.Leaf(id, inputs[id])
+		if i == 0 {
+			want = leaf
+		} else {
+			want = f.Merge(want, leaf)
+		}
+	}
+	if !AggEqual(got, want) {
+		return fmt.Errorf("invariant: recovered aggregate %v diverges from contributor fold %v (%s over %d contributors)",
+			got, want, f.Name(), len(contributors))
+	}
+	return nil
+}

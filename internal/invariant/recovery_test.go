@@ -1,0 +1,107 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/invariant"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+func TestCheckCheckpointLogAcceptsMonotone(t *testing.T) {
+	log := []invariant.Checkpoint{
+		{Node: 1, Epoch: 1, Gen: 1, Slot: 40},
+		{Node: 2, Epoch: 1, Gen: 1, Slot: 40},
+		{Node: 1, Epoch: 2, Gen: 2, Slot: 72},
+		{Node: 2, Epoch: 2, Gen: 2, Slot: 72},
+		{Node: 1, Epoch: 2, Gen: 3, Slot: 110}, // epoch retried: same epoch, new gen
+		{Node: 1, Epoch: 4, Gen: 4, Slot: 300}, // skipping an epoch is fine (node pruned in between elsewhere)
+	}
+	if err := invariant.CheckCheckpointLog(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := invariant.CheckCheckpointLog(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCheckpointLogRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		log  []invariant.Checkpoint
+		want string
+	}{
+		{
+			"generation stuck",
+			[]invariant.Checkpoint{{Node: 1, Epoch: 1, Gen: 1, Slot: 10}, {Node: 1, Epoch: 2, Gen: 1, Slot: 20}},
+			"generation",
+		},
+		{
+			"epoch regressed",
+			[]invariant.Checkpoint{{Node: 1, Epoch: 3, Gen: 1, Slot: 10}, {Node: 1, Epoch: 2, Gen: 2, Slot: 20}},
+			"epoch regressed",
+		},
+		{
+			"slot regressed",
+			[]invariant.Checkpoint{{Node: 1, Epoch: 1, Gen: 1, Slot: 30}, {Node: 1, Epoch: 2, Gen: 2, Slot: 20}},
+			"slot regressed",
+		},
+		{
+			"epoch out of range",
+			[]invariant.Checkpoint{{Node: 1, Epoch: 5, Gen: 1, Slot: 10}},
+			"outside [1,4]",
+		},
+		{
+			"negative slot",
+			[]invariant.Checkpoint{{Node: 1, Epoch: 1, Gen: 1, Slot: -1}},
+			"negative slot",
+		},
+	}
+	for _, tc := range cases {
+		err := invariant.CheckCheckpointLog(tc.log)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckContribution(t *testing.T) {
+	inputs := []int64{10, 20, 30, 40}
+	all := []sim.NodeID{0, 1, 2, 3}
+
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, all, int64(100)); err != nil {
+		t.Errorf("full fold rejected: %v", err)
+	}
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, []sim.NodeID{0, 2}, int64(40)); err != nil {
+		t.Errorf("partial fold rejected: %v", err)
+	}
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, all, int64(120)); err == nil {
+		t.Error("wrong aggregate accepted")
+	}
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, []sim.NodeID{1, 1, 2}, int64(70)); err == nil {
+		t.Error("duplicate contributor accepted (double-merge would hide here)")
+	}
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, []sim.NodeID{0, 7}, int64(10)); err == nil {
+		t.Error("out-of-range contributor accepted")
+	}
+	if err := invariant.CheckContribution(aggfunc.Sum{}, inputs, nil, int64(0)); err == nil {
+		t.Error("empty contributor set accepted")
+	}
+	if err := invariant.CheckContribution(nil, inputs, all, int64(100)); err == nil {
+		t.Error("nil aggregate function accepted")
+	}
+}
+
+func TestCheckContributionUsesRealIDs(t *testing.T) {
+	// Functions whose leaves depend on the node id (Collect carries the
+	// contributing id in every entry) must be folded with the contributors'
+	// actual ids, not positions.
+	f := aggfunc.Collect{}
+	inputs := []int64{5, 6, 7}
+	contributors := []sim.NodeID{0, 2}
+	want := f.Merge(f.Leaf(0, 5), f.Leaf(2, 7))
+	if err := invariant.CheckContribution(f, inputs, contributors, want); err != nil {
+		t.Errorf("id-sensitive fold rejected: %v", err)
+	}
+}

@@ -192,6 +192,44 @@ func (j *SweepJammer) Jammed(slot int, _ sim.NodeID) []int {
 	return j.buf
 }
 
+// BlockSweepJammer partitions the spectrum into fixed budget-sized blocks
+// and dwells on each block for a number of slots before moving to the
+// next — a deterministic scanning adversary (think a swept-frequency
+// interferer parked on one band at a time). Like SweepJammer it is
+// 1-uniform; unlike it, the jammed set is stable across the dwell window,
+// which punishes protocols that retry on the same channel.
+type BlockSweepJammer struct {
+	c, budget, dwell int
+	buf              []int
+}
+
+var _ Jammer = (*BlockSweepJammer)(nil)
+
+// NewBlockSweepJammer builds a block-sweeping jammer over c channels that
+// jams one budget-sized block for dwell slots before advancing.
+func NewBlockSweepJammer(c, budget, dwell int) *BlockSweepJammer {
+	if dwell < 1 {
+		dwell = 1
+	}
+	return &BlockSweepJammer{c: c, budget: budget, dwell: dwell, buf: make([]int, budget)}
+}
+
+// Name implements Jammer.
+func (*BlockSweepJammer) Name() string { return "block" }
+
+// Jammed implements Jammer.
+func (j *BlockSweepJammer) Jammed(slot int, _ sim.NodeID) []int {
+	if j.budget == 0 {
+		return nil
+	}
+	numBlocks := (j.c + j.budget - 1) / j.budget
+	block := (slot / j.dwell) % numBlocks
+	for i := 0; i < j.budget; i++ {
+		j.buf[i] = (block*j.budget + i) % j.c
+	}
+	return j.buf
+}
+
 // SplitJammer partitions nodes into groups and jams a different window per
 // group, exercising genuine n-uniformity: two nodes in different groups see
 // different jammed spectra in the same slot.

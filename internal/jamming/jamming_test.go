@@ -34,6 +34,7 @@ func TestUnjammedSetsRespectBudgetAndOverlap(t *testing.T) {
 	jammers := []jamming.Jammer{
 		jamming.NewRandomJammer(c, kJam, 5),
 		jamming.NewSweepJammer(c, kJam),
+		jamming.NewBlockSweepJammer(c, kJam, 4),
 		jamming.NewSplitJammer(c, kJam, 3),
 	}
 	for _, j := range jammers {
@@ -108,6 +109,7 @@ func TestCogcastSurvivesJamming(t *testing.T) {
 		jamming.NoJammer{},
 		jamming.NewRandomJammer(c, kJam, 9),
 		jamming.NewSweepJammer(c, kJam),
+		jamming.NewBlockSweepJammer(c, kJam, 6),
 		jamming.NewSplitJammer(c, kJam, 4),
 	}
 	for _, j := range jammers {
@@ -147,6 +149,41 @@ func TestSplitJammerIsNUniform(t *testing.T) {
 	}
 }
 
+func TestBlockSweepJammerDwellsAndCycles(t *testing.T) {
+	const c, budget, dwell = 10, 3, 4
+	j := jamming.NewBlockSweepJammer(c, budget, dwell)
+	numBlocks := (c + budget - 1) / budget
+	for slot := 0; slot < 3*numBlocks*dwell; slot++ {
+		got := append([]int(nil), j.Jammed(slot, 0)...)
+		block := (slot / dwell) % numBlocks
+		for i, ch := range got {
+			if want := (block*budget + i) % c; ch != want {
+				t.Fatalf("slot %d: jammed[%d] = %d, want %d", slot, i, ch, want)
+			}
+		}
+		// Deterministic: the same slot always jams the same set, for any node.
+		again := j.Jammed(slot, 7)
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("slot %d: jammed set differs between calls", slot)
+			}
+		}
+	}
+	// Within one dwell window the set must not move.
+	first := append([]int(nil), j.Jammed(0, 0)...)
+	for slot := 1; slot < dwell; slot++ {
+		got := j.Jammed(slot, 0)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("slot %d: jammed set moved inside dwell window", slot)
+			}
+		}
+	}
+	if got := jamming.NewBlockSweepJammer(c, 0, dwell).Jammed(0, 0); got != nil {
+		t.Errorf("zero-budget jammer jammed %v", got)
+	}
+}
+
 func TestNoJammerLeavesFullSpectrum(t *testing.T) {
 	asn, err := jamming.NewAssignment(3, 6, 2, jamming.NoJammer{}, 1)
 	if err != nil {
@@ -161,6 +198,7 @@ func TestJammerNames(t *testing.T) {
 	if (jamming.NoJammer{}).Name() != "none" ||
 		jamming.NewRandomJammer(4, 1, 1).Name() != "random" ||
 		jamming.NewSweepJammer(4, 1).Name() != "sweep" ||
+		jamming.NewBlockSweepJammer(4, 1, 2).Name() != "block" ||
 		jamming.NewSplitJammer(4, 1, 2).Name() != "split" {
 		t.Error("jammer name mismatch")
 	}

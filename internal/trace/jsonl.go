@@ -119,6 +119,27 @@ func (j *JSONL) Emit(ev Event) {
 	case KindTrial:
 		b = appendField(b, "trial", ev.A)
 		b = appendField(b, "seed", ev.B)
+	case KindEpoch:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "epoch", ev.A)
+		b = appendField(b, "len", ev.B)
+	case KindCheckpoint:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "node", int64(ev.Node))
+		b = appendField(b, "epoch", ev.A)
+		b = appendField(b, "gen", ev.B)
+	case KindRetry:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "epoch", ev.A)
+		b = appendField(b, "attempt", ev.B)
+	case KindReelect:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "ch", int64(ev.Channel))
+		b = appendField(b, "node", int64(ev.Node))
+		b = appendField(b, "old", int64(ev.Peer))
+	case KindRestart:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "node", int64(ev.Node))
 	default:
 		j.err = fmt.Errorf("trace: cannot encode invalid event kind %d", ev.Kind)
 		return
@@ -168,6 +189,11 @@ type rawLine struct {
 	Trial  int64  `json:"trial"`
 	Seed   int64  `json:"seed"`
 
+	Epoch   int64 `json:"epoch"`
+	Gen     int64 `json:"gen"`
+	Attempt int64 `json:"attempt"`
+	Old     int   `json:"old"`
+
 	Protocol   string `json:"protocol"`
 	Nodes      int    `json:"nodes"`
 	PerNode    int    `json:"per_node"`
@@ -192,7 +218,7 @@ func ReadAll(r io.Reader) (Meta, []Event, error) {
 		if len(text) == 0 {
 			continue
 		}
-		raw := rawLine{T: nil, Ch: -1, W: -1, Node: -1, Parent: -1}
+		raw := rawLine{T: nil, Ch: -1, W: -1, Node: -1, Parent: -1, Old: -1}
 		if err := json.Unmarshal(text, &raw); err != nil {
 			return meta, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
@@ -253,6 +279,16 @@ func (raw *rawLine) event() (Event, error) {
 		return JamEvent(slot, int(raw.Jammed), int(raw.Budget)), nil
 	case "trial":
 		return TrialEvent(int(raw.Trial), raw.Seed), nil
+	case "epoch":
+		return EpochEvent(slot, int(raw.Epoch), int(raw.Len)), nil
+	case "ckpt":
+		return CheckpointEvent(slot, raw.Node, int(raw.Epoch), int(raw.Gen)), nil
+	case "retry":
+		return RetryEvent(slot, int(raw.Epoch), int(raw.Attempt)), nil
+	case "reelect":
+		return ReelectEvent(slot, raw.Ch, raw.Node, raw.Old), nil
+	case "restart":
+		return RestartEvent(slot, raw.Node), nil
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", raw.K)
 	}

@@ -51,6 +51,22 @@ const (
 	// KindTrial marks the start of an experiment repetition: trial index A
 	// running with derived seed B.
 	KindTrial
+	// KindEpoch marks a recovery epoch boundary: epoch A (1-4, mirroring
+	// the COGCOMP phases) begins at the event's slot with a window of B
+	// slots (0 = run-to-completion).
+	KindEpoch
+	// KindCheckpoint reports that Node committed its epoch-A checkpoint at
+	// the event's slot (B is the supervisor's checkpoint generation).
+	KindCheckpoint
+	// KindRetry reports that the recovery supervisor re-executes epoch A;
+	// B is the retry attempt (1 = first retry).
+	KindRetry
+	// KindReelect reports a mediator re-election on physical channel
+	// Channel: Node is the new mediator, Peer the demoted one.
+	KindReelect
+	// KindRestart reports that Node came back from a crash at the event's
+	// slot with what its durability model preserved (crash-restart faults).
+	KindRestart
 )
 
 // String returns the kind's on-disk tag.
@@ -74,6 +90,16 @@ func (k Kind) String() string {
 		return "jam"
 	case KindTrial:
 		return "trial"
+	case KindEpoch:
+		return "epoch"
+	case KindCheckpoint:
+		return "ckpt"
+	case KindRetry:
+		return "retry"
+	case KindReelect:
+		return "reelect"
+	case KindRestart:
+		return "restart"
 	default:
 		return "invalid"
 	}
@@ -169,6 +195,36 @@ func JamEvent(slot, jammed, budget int) Event {
 // seeded with seed.
 func TrialEvent(trial int, seed int64) Event {
 	return Event{Kind: KindTrial, Slot: -1, Channel: -1, Node: -1, Peer: -1, A: int64(trial), B: seed}
+}
+
+// EpochEvent returns a KindEpoch record: recovery epoch (1-4) begins at
+// slot with a window of length slots (0 = run to completion).
+func EpochEvent(slot, epoch, length int) Event {
+	return Event{Kind: KindEpoch, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(epoch), B: int64(length)}
+}
+
+// CheckpointEvent returns a KindCheckpoint record: node commits its
+// epoch checkpoint at slot under checkpoint generation gen.
+func CheckpointEvent(slot, node, epoch, gen int) Event {
+	return Event{Kind: KindCheckpoint, Slot: slot, Channel: -1, Node: node, Peer: -1, A: int64(epoch), B: int64(gen)}
+}
+
+// RetryEvent returns a KindRetry record: epoch is re-executed as retry
+// attempt (1-based) starting at slot.
+func RetryEvent(slot, epoch, attempt int) Event {
+	return Event{Kind: KindRetry, Slot: slot, Channel: -1, Node: -1, Peer: -1, A: int64(epoch), B: int64(attempt)}
+}
+
+// ReelectEvent returns a KindReelect record: node replaces old as the
+// mediator of physical channel ch at slot.
+func ReelectEvent(slot, ch, node, old int) Event {
+	return Event{Kind: KindReelect, Slot: slot, Channel: ch, Node: node, Peer: old}
+}
+
+// RestartEvent returns a KindRestart record: node returned from a crash
+// at slot, recovering its WAL-backed protocol state (DESIGN.md §7).
+func RestartEvent(slot, node int) Event {
+	return Event{Kind: KindRestart, Slot: slot, Channel: -1, Node: node, Peer: -1}
 }
 
 // Meta describes the run a trace was recorded from; it becomes the JSONL
