@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick fuzz cover clean
+.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick baseline-scale fuzz cover clean
 
 # Per-target fuzzing budget for `make fuzz`.
 FUZZTIME ?= 30s
@@ -55,6 +55,14 @@ baseline:
 
 baseline-quick:
 	$(GO) run ./cmd/cogbench -quick -parallel 1 -bench-out BENCH_quick_baseline.json > /dev/null
+
+# Scale baseline: the E28 quick sweep run with the sharded engine, recorded as
+# the committed reference for CI's scale smoke. The sharded scan is the
+# configuration E28 exists to protect, so the baseline pins its allocation and
+# bytes-per-node profile; throughput fields are recorded but machine-dependent
+# and not gated in CI.
+baseline-scale:
+	$(GO) run ./cmd/cogbench -exp E28 -quick -parallel 1 -shards 4 -bench-out BENCH_scale_baseline.json > /dev/null
 
 # Run every native fuzz target for FUZZTIME each (go test allows one -fuzz
 # pattern per package invocation). Seed corpora live under each package's

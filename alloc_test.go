@@ -53,6 +53,30 @@ func TestRunSlotAllocFree(t *testing.T) {
 	}
 }
 
+// TestRunSlotShardedAllocFree extends the zero-allocation pin to the
+// sharded scan: once the per-shard accumulators and goroutine bodies are
+// built at Reset, a steady-state sharded RunSlot spawns its workers and
+// merges their pending actions without a single allocation, at every shard
+// count. A regression here (a closure rebuilt per slot, a pend list regrown,
+// a channel-based handoff) is exactly the kind of cost that would erase the
+// multi-core win WithShards exists for.
+func TestRunSlotShardedAllocFree(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		eng := steadyStateEngine(t, sim.WithShards(shards))
+		if got := eng.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := eng.RunSlot(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state RunSlot with %d shards allocates %.2f objects/slot, want 0", shards, allocs)
+		}
+	}
+}
+
 // TestRunSlotObservedAllocBound allows the observer path at most one
 // allocation per slot: the engine hands the observer its reused outcome
 // scratch, so any steady-state cost belongs to the observer itself (the

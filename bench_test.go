@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduced experiment (E1-E14, matching DESIGN.md's
+// Benchmarks: one per reproduced experiment (E1-E28, matching DESIGN.md's
 // index — run `go test -bench=. -benchmem`), plus micro-benchmarks of the
 // substrates. Experiment benchmarks run the Quick configuration; use
 // cmd/cogbench for the full sweeps and rendered tables.
@@ -67,6 +67,7 @@ func BenchmarkE24BackoffCost(b *testing.B)            { benchExperiment(b, "E24"
 func BenchmarkE25AggregationSessions(b *testing.B)    { benchExperiment(b, "E25") }
 func BenchmarkE26CrashRestartRecovery(b *testing.B)   { benchExperiment(b, "E26") }
 func BenchmarkE27RecoveryOverhead(b *testing.B)       { benchExperiment(b, "E27") }
+func BenchmarkE28ScaleSweep(b *testing.B)             { benchExperiment(b, "E28") }
 
 // --- Substrate micro-benchmarks ------------------------------------------------
 
@@ -92,6 +93,46 @@ func BenchmarkEngineSlot(b *testing.B) {
 		if err := eng.RunSlot(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineSlotLarge measures one steady-state slot at n=10⁵ — the
+// scale regime E28 sweeps — serial and at several shard counts. On a
+// multi-core machine the sharded variants should approach a per-core
+// speedup of phase A (the protocol scan dominates at this size); on one
+// core they pin that sharding costs nearly nothing. All variants are warm:
+// scratch, shard accumulators and goroutine bodies are built before the
+// timer starts.
+func BenchmarkEngineSlotLarge(b *testing.B) {
+	const n, c = 100_000, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protos := make([]sim.Protocol, n)
+	for i := range protos {
+		protos[i] = cogcast.New(sim.View(asn, sim.NodeID(i)), true, "m", 1)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := sim.NewEngine(asn, protos, 1, sim.WithShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 4; i++ { // warm scratch before measuring
+				if err := eng.RunSlot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunSlot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodesteps/s")
+		})
 	}
 }
 

@@ -38,13 +38,19 @@ func main() {
 	}
 }
 
-// benchRecord is one experiment's entry in the -bench-out report.
+// benchRecord is one experiment's entry in the -bench-out report. Slots and
+// Nodes difference the process-global sim counters around the experiment;
+// SlotsPerSec (throughput) and BytesPerNode (allocated bytes amortized over
+// every node instantiated) are derived from them at report time.
 type benchRecord struct {
-	ID     string  `json:"id"`
-	WallMS float64 `json:"wall_ms"`
-	Slots  int64   `json:"slots"`
-	Allocs uint64  `json:"allocs"`
-	Bytes  uint64  `json:"bytes"`
+	ID           string  `json:"id"`
+	WallMS       float64 `json:"wall_ms"`
+	Slots        int64   `json:"slots"`
+	Allocs       uint64  `json:"allocs"`
+	Bytes        uint64  `json:"bytes"`
+	Nodes        int64   `json:"nodes,omitempty"`
+	SlotsPerSec  float64 `json:"slots_per_sec,omitempty"`
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 }
 
 // benchReport is the -bench-out file layout. Wall-clock shrinks with
@@ -57,6 +63,7 @@ type benchReport struct {
 	Trials      int           `json:"trials"`
 	Quick       bool          `json:"quick"`
 	Parallel    int           `json:"parallel"`
+	Shards      int           `json:"shards,omitempty"`
 	Experiments []benchRecord `json:"experiments"`
 	TotalWallMS float64       `json:"total_wall_ms"`
 }
@@ -78,10 +85,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		format   = fs.String("format", "text", "output format: text, markdown or csv")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
+		shards   = fs.Int("shards", 1, "goroutines sharding each slot's protocol scan inside the engine (1 = serial); tables are identical for every value")
 		benchOut = fs.String("bench-out", "", "write a machine-readable JSON benchmark report (wall-clock, slots, allocs per experiment) to this file")
 		compare  = fs.Bool("compare", false, "compare two -bench-out reports (old.json new.json as positional args), print the per-experiment delta table, and exit non-zero on regression")
 		wallLmt  = fs.Float64("wall-limit", 2.0, "with -compare: fail if total wall-clock exceeds this multiple of the old report's (<= 0 disables; wall is machine-dependent)")
 		allocLmt = fs.Float64("alloc-limit", 1.25, "with -compare: fail if any experiment's allocations exceed this multiple of the old report's (<= 0 disables)")
+		spsLmt   = fs.Float64("slotsps-limit", 0, "with -compare: fail if total slots/sec falls below the old report's divided by this factor (<= 0 disables; throughput is machine-dependent)")
+		bpnLmt   = fs.Float64("bytespn-limit", 0, "with -compare: fail if any experiment's bytes/node exceed this multiple of the old report's (<= 0 disables)")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the traced experiments to this file (forces serial trials; schema in TRACE.md)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -91,7 +101,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	if *compare {
-		return runCompare(fs.Args(), out, *wallLmt, *allocLmt)
+		return runCompare(fs.Args(), out, compareLimits{wall: *wallLmt, alloc: *allocLmt, slotsPS: *spsLmt, bytesPN: *bpnLmt})
 	}
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -137,7 +147,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		report.Parallel = parallel.DefaultWorkers()
 	}
 
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov}
+	if *shards > 1 {
+		report.Shards = *shards
+	}
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov, Shards: *shards}
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -164,6 +177,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	for _, e := range selected {
 		start := time.Now()
 		slots0 := sim.SlotsExecuted()
+		nodes0 := sim.NodesSimulated()
 		var mem0 runtime.MemStats
 		if *benchOut != "" {
 			runtime.ReadMemStats(&mem0)
@@ -175,13 +189,21 @@ func run(args []string, out io.Writer) (retErr error) {
 		if *benchOut != "" {
 			var mem1 runtime.MemStats
 			runtime.ReadMemStats(&mem1)
-			report.Experiments = append(report.Experiments, benchRecord{
+			rec := benchRecord{
 				ID:     e.ID,
 				WallMS: round3(float64(time.Since(start).Microseconds()) / 1000),
 				Slots:  sim.SlotsExecuted() - slots0,
 				Allocs: mem1.Mallocs - mem0.Mallocs,
 				Bytes:  mem1.TotalAlloc - mem0.TotalAlloc,
-			})
+				Nodes:  sim.NodesSimulated() - nodes0,
+			}
+			if rec.WallMS > 0 {
+				rec.SlotsPerSec = round3(float64(rec.Slots) / (rec.WallMS / 1000))
+			}
+			if rec.Nodes > 0 {
+				rec.BytesPerNode = round3(float64(rec.Bytes) / float64(rec.Nodes))
+			}
+			report.Experiments = append(report.Experiments, rec)
 		}
 		for _, t := range tables {
 			var rerr error
@@ -250,14 +272,30 @@ func ratioCell(newV, oldV float64) string {
 	return fmt.Sprintf("%.2fx", newV/oldV)
 }
 
+// compareLimits carries -compare's regression thresholds. Zero (or negative)
+// disables a check.
+type compareLimits struct {
+	// wall fails the comparison when total wall-clock exceeds wall times
+	// the old report's.
+	wall float64
+	// alloc fails it when any experiment's allocation count exceeds alloc
+	// times the old one.
+	alloc float64
+	// slotsPS fails it when total slot throughput falls below the old
+	// report's divided by slotsPS — the throughput mirror of wall.
+	slotsPS float64
+	// bytesPN fails it when any experiment's bytes/node exceed bytesPN
+	// times the old one — the per-node mirror of alloc.
+	bytesPN float64
+}
+
 // runCompare renders the per-experiment delta between two -bench-out reports
 // and returns an error (non-zero exit) when the new report regresses past the
-// limits: any experiment's allocation count beyond allocLimit times the old
-// one, or total wall-clock beyond wallLimit times the old one. Limits <= 0
-// disable the respective check — wall-clock is only comparable between runs
-// on the same machine, so CI compares allocations alone. Experiments present
-// in only one report are listed but never fail the comparison.
-func runCompare(paths []string, out io.Writer, wallLimit, allocLimit float64) error {
+// limits (see compareLimits). Limits <= 0 disable the respective check —
+// wall-clock and slots/sec are only comparable between runs on the same
+// machine, so CI compares allocations and bytes/node alone. Experiments
+// present in only one report are listed but never fail the comparison.
+func runCompare(paths []string, out io.Writer, limits compareLimits) error {
 	if len(paths) != 2 {
 		return fmt.Errorf("-compare needs exactly two report files: old.json new.json")
 	}
@@ -274,16 +312,20 @@ func runCompare(paths []string, out io.Writer, wallLimit, allocLimit float64) er
 		oldBy[r.ID] = r
 	}
 	t := &exper.Table{
-		Title:   fmt.Sprintf("benchmark comparison: %s -> %s", paths[0], paths[1]),
-		Columns: []string{"experiment", "wall ms old", "wall ms new", "wall", "allocs old", "allocs new", "allocs", "bytes old", "bytes new", "bytes"},
+		Title: fmt.Sprintf("benchmark comparison: %s -> %s", paths[0], paths[1]),
+		Columns: []string{"experiment", "wall ms old", "wall ms new", "wall",
+			"allocs old", "allocs new", "allocs", "bytes old", "bytes new", "bytes",
+			"slots/s old", "slots/s new", "slots/s", "B/node old", "B/node new", "B/node"},
 	}
 	var regressions []string
 	var oldAllocs, newAllocs, oldBytes, newBytes uint64
+	var oldSlots, newSlots int64
 	for _, n := range newR.Experiments {
 		o, ok := oldBy[n.ID]
 		if !ok {
 			t.AddRow(n.ID, "-", fmt.Sprintf("%.1f", n.WallMS), "new",
-				"-", fmt.Sprintf("%d", n.Allocs), "new", "-", fmt.Sprintf("%d", n.Bytes), "new")
+				"-", fmt.Sprintf("%d", n.Allocs), "new", "-", fmt.Sprintf("%d", n.Bytes), "new",
+				"-", fmt.Sprintf("%.0f", n.SlotsPerSec), "new", "-", fmt.Sprintf("%.0f", n.BytesPerNode), "new")
 			continue
 		}
 		delete(oldBy, n.ID)
@@ -291,37 +333,69 @@ func runCompare(paths []string, out io.Writer, wallLimit, allocLimit float64) er
 		newAllocs += n.Allocs
 		oldBytes += o.Bytes
 		newBytes += n.Bytes
+		oldSlots += o.Slots
+		newSlots += n.Slots
 		t.AddRow(n.ID,
 			fmt.Sprintf("%.1f", o.WallMS), fmt.Sprintf("%.1f", n.WallMS), ratioCell(n.WallMS, o.WallMS),
 			fmt.Sprintf("%d", o.Allocs), fmt.Sprintf("%d", n.Allocs), ratioCell(float64(n.Allocs), float64(o.Allocs)),
-			fmt.Sprintf("%d", o.Bytes), fmt.Sprintf("%d", n.Bytes), ratioCell(float64(n.Bytes), float64(o.Bytes)))
-		if allocLimit > 0 && o.Allocs > 0 && float64(n.Allocs) > allocLimit*float64(o.Allocs) {
+			fmt.Sprintf("%d", o.Bytes), fmt.Sprintf("%d", n.Bytes), ratioCell(float64(n.Bytes), float64(o.Bytes)),
+			fmt.Sprintf("%.0f", o.SlotsPerSec), fmt.Sprintf("%.0f", n.SlotsPerSec), ratioCell(n.SlotsPerSec, o.SlotsPerSec),
+			fmt.Sprintf("%.0f", o.BytesPerNode), fmt.Sprintf("%.0f", n.BytesPerNode), ratioCell(n.BytesPerNode, o.BytesPerNode))
+		if limits.alloc > 0 && o.Allocs > 0 && float64(n.Allocs) > limits.alloc*float64(o.Allocs) {
 			regressions = append(regressions,
-				fmt.Sprintf("%s allocs %.2fx old (limit %.2fx)", n.ID, float64(n.Allocs)/float64(o.Allocs), allocLimit))
+				fmt.Sprintf("%s allocs %.2fx old (limit %.2fx)", n.ID, float64(n.Allocs)/float64(o.Allocs), limits.alloc))
+		}
+		if limits.bytesPN > 0 && o.BytesPerNode > 0 && n.BytesPerNode > limits.bytesPN*o.BytesPerNode {
+			regressions = append(regressions,
+				fmt.Sprintf("%s bytes/node %.2fx old (limit %.2fx)", n.ID, n.BytesPerNode/o.BytesPerNode, limits.bytesPN))
 		}
 	}
 	for _, o := range oldR.Experiments {
 		if _, removed := oldBy[o.ID]; removed {
 			t.AddRow(o.ID, fmt.Sprintf("%.1f", o.WallMS), "-", "removed",
-				fmt.Sprintf("%d", o.Allocs), "-", "removed", fmt.Sprintf("%d", o.Bytes), "-", "removed")
+				fmt.Sprintf("%d", o.Allocs), "-", "removed", fmt.Sprintf("%d", o.Bytes), "-", "removed",
+				fmt.Sprintf("%.0f", o.SlotsPerSec), "-", "removed", fmt.Sprintf("%.0f", o.BytesPerNode), "-", "removed")
 		}
+	}
+	// Total throughput is recomputed from the matched experiments' slot and
+	// wall sums rather than averaged per-experiment values.
+	oldSPS, newSPS := 0.0, 0.0
+	if oldR.TotalWallMS > 0 {
+		oldSPS = float64(oldSlots) / (oldR.TotalWallMS / 1000)
+	}
+	if newR.TotalWallMS > 0 {
+		newSPS = float64(newSlots) / (newR.TotalWallMS / 1000)
 	}
 	t.AddRow("total",
 		fmt.Sprintf("%.1f", oldR.TotalWallMS), fmt.Sprintf("%.1f", newR.TotalWallMS), ratioCell(newR.TotalWallMS, oldR.TotalWallMS),
 		fmt.Sprintf("%d", oldAllocs), fmt.Sprintf("%d", newAllocs), ratioCell(float64(newAllocs), float64(oldAllocs)),
-		fmt.Sprintf("%d", oldBytes), fmt.Sprintf("%d", newBytes), ratioCell(float64(newBytes), float64(oldBytes)))
-	if wallLimit > 0 && oldR.TotalWallMS > 0 && newR.TotalWallMS > wallLimit*oldR.TotalWallMS {
+		fmt.Sprintf("%d", oldBytes), fmt.Sprintf("%d", newBytes), ratioCell(float64(newBytes), float64(oldBytes)),
+		fmt.Sprintf("%.0f", oldSPS), fmt.Sprintf("%.0f", newSPS), ratioCell(newSPS, oldSPS),
+		"-", "-", "-")
+	if limits.wall > 0 && oldR.TotalWallMS > 0 && newR.TotalWallMS > limits.wall*oldR.TotalWallMS {
 		regressions = append(regressions,
-			fmt.Sprintf("total wall %.2fx old (limit %.2fx)", newR.TotalWallMS/oldR.TotalWallMS, wallLimit))
+			fmt.Sprintf("total wall %.2fx old (limit %.2fx)", newR.TotalWallMS/oldR.TotalWallMS, limits.wall))
 	}
-	switch {
-	case wallLimit > 0 && allocLimit > 0:
-		t.AddNote("regression limits: per-experiment allocs %.2fx, total wall %.2fx", allocLimit, wallLimit)
-	case allocLimit > 0:
-		t.AddNote("regression limits: per-experiment allocs %.2fx (wall check disabled)", allocLimit)
-	case wallLimit > 0:
-		t.AddNote("regression limits: total wall %.2fx (alloc check disabled)", wallLimit)
-	default:
+	if limits.slotsPS > 0 && oldSPS > 0 && newSPS < oldSPS/limits.slotsPS {
+		regressions = append(regressions,
+			fmt.Sprintf("total slots/sec %.2fx old (limit 1/%.2fx)", newSPS/oldSPS, limits.slotsPS))
+	}
+	var enabled []string
+	if limits.alloc > 0 {
+		enabled = append(enabled, fmt.Sprintf("per-experiment allocs %.2fx", limits.alloc))
+	}
+	if limits.bytesPN > 0 {
+		enabled = append(enabled, fmt.Sprintf("per-experiment bytes/node %.2fx", limits.bytesPN))
+	}
+	if limits.wall > 0 {
+		enabled = append(enabled, fmt.Sprintf("total wall %.2fx", limits.wall))
+	}
+	if limits.slotsPS > 0 {
+		enabled = append(enabled, fmt.Sprintf("total slots/sec 1/%.2fx", limits.slotsPS))
+	}
+	if len(enabled) > 0 {
+		t.AddNote("regression limits: %s", strings.Join(enabled, ", "))
+	} else {
 		t.AddNote("regression checks disabled")
 	}
 	if err := t.Render(out); err != nil {

@@ -95,9 +95,12 @@ func TestBenchOut(t *testing.T) {
 		GoVersion   string `json:"go_version"`
 		Parallel    int    `json:"parallel"`
 		Experiments []struct {
-			ID     string  `json:"id"`
-			WallMS float64 `json:"wall_ms"`
-			Slots  int64   `json:"slots"`
+			ID           string  `json:"id"`
+			WallMS       float64 `json:"wall_ms"`
+			Slots        int64   `json:"slots"`
+			Nodes        int64   `json:"nodes"`
+			SlotsPerSec  float64 `json:"slots_per_sec"`
+			BytesPerNode float64 `json:"bytes_per_node"`
 		} `json:"experiments"`
 	}
 	if err := json.Unmarshal(blob, &report); err != nil {
@@ -109,8 +112,13 @@ func TestBenchOut(t *testing.T) {
 	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E3" {
 		t.Fatalf("experiments = %+v", report.Experiments)
 	}
-	if report.Experiments[0].Slots <= 0 {
-		t.Errorf("E3 slot count = %d, want > 0", report.Experiments[0].Slots)
+	rec := report.Experiments[0]
+	if rec.Slots <= 0 {
+		t.Errorf("E3 slot count = %d, want > 0", rec.Slots)
+	}
+	if rec.Nodes <= 0 || rec.SlotsPerSec <= 0 || rec.BytesPerNode <= 0 {
+		t.Errorf("E3 derived metrics incomplete: nodes=%d slots/s=%.1f B/node=%.1f",
+			rec.Nodes, rec.SlotsPerSec, rec.BytesPerNode)
 	}
 	if !strings.Contains(out.String(), "benchmark report:") {
 		t.Errorf("missing report line in output: %q", out.String())
@@ -187,6 +195,72 @@ func TestCompare(t *testing.T) {
 	err = run([]string{"-compare", basePath, slowPath}, &out)
 	if err == nil || !strings.Contains(err.Error(), "total wall") {
 		t.Errorf("want total wall regression, got %v", err)
+	}
+}
+
+func TestCompareThroughputLimits(t *testing.T) {
+	oldPath := writeReport(t, "old.json", benchReport{
+		TotalWallMS: 1000,
+		Experiments: []benchRecord{
+			{ID: "E1", WallMS: 1000, Allocs: 100, Bytes: 4000, Slots: 100_000, SlotsPerSec: 100_000, BytesPerNode: 100},
+		},
+	})
+	newPath := writeReport(t, "new.json", benchReport{
+		TotalWallMS: 1000,
+		Experiments: []benchRecord{
+			{ID: "E1", WallMS: 1000, Allocs: 100, Bytes: 4000, Slots: 40_000, SlotsPerSec: 40_000, BytesPerNode: 220},
+		},
+	})
+
+	// Both throughput checks are off by default: machine-dependent metrics
+	// must not fail CI comparisons unless explicitly armed.
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("default compare armed a throughput check: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"slots/s", "B/node", "100000", "220"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, s)
+		}
+	}
+
+	// A 2.2x bytes/node growth fails an armed 1.5x limit.
+	out.Reset()
+	err := run([]string{"-compare", "-bytespn-limit", "1.5", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "E1 bytes/node") {
+		t.Errorf("want bytes/node regression, got %v", err)
+	}
+
+	// Throughput dropped to 0.4x: below old/2, so -slotsps-limit 2 fails.
+	out.Reset()
+	err = run([]string{"-compare", "-slotsps-limit", "2", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "total slots/sec") {
+		t.Errorf("want slots/sec regression, got %v", err)
+	}
+
+	// A drop within the armed factor passes.
+	out.Reset()
+	if err := run([]string{"-compare", "-slotsps-limit", "3", "-bytespn-limit", "2.5", oldPath, newPath}, &out); err != nil {
+		t.Errorf("compare within armed throughput limits failed: %v", err)
+	}
+}
+
+// TestShardsFlagDeterministic is the CLI face of the byte-identity
+// contract: -shards must never change a rendered table.
+func TestShardsFlagDeterministic(t *testing.T) {
+	args := func(shards string) []string {
+		return []string{"-exp", "E1", "-quick", "-trials", "2", "-format", "csv", "-shards", shards}
+	}
+	var serial, sharded bytes.Buffer
+	if err := run(args("1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("4"), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Errorf("tables differ across shard counts:\nserial:\n%s\nsharded:\n%s", serial.String(), sharded.String())
 	}
 }
 

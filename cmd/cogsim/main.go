@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		curve    = fs.Bool("curve", false, "print the informed-count curve for cogcast")
 		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints per-repetition lines and a slot-count summary")
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		shards   = fs.Int("shards", 1, "goroutines sharding each slot's protocol scan inside the engine (1 = serial); output is identical for every value; dynamic/jammed networks run serially")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the run to this file (cogcast and cogcomp, single run; schema in TRACE.md)")
 		traceSum = fs.String("trace-summary", "", "read a trace file and fold it back into summary numbers instead of running anything")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -83,8 +84,8 @@ func run(args []string, out io.Writer) error {
 		topology: *topology, labels: *labels, dynamic: *dynamic,
 		jam: *jam, jamK: *jamK, seed: *seed, source: *source, agg: *agg,
 		rounds: *rounds, rumors: *rumors, maxSlots: *maxSlots, curve: *curve,
-		repeat: *repeat, workers: *workers, traceTo: *traceTo, check: *check,
-		recover: *recov, outage: *outage,
+		repeat: *repeat, workers: *workers, shards: *shards, traceTo: *traceTo,
+		check: *check, recover: *recov, outage: *outage,
 	})
 	if serr := stop(); err == nil {
 		err = serr
@@ -105,7 +106,7 @@ type options struct {
 	agg                      string
 	rounds, rumors, maxSlots int
 	curve                    bool
-	repeat, workers          int
+	repeat, workers, shards  int
 	traceTo                  string
 	check                    bool
 	recover                  bool
@@ -174,7 +175,7 @@ func runProtocol(out io.Writer, o options) error {
 		opts := crn.BroadcastOptions{
 			Source: o.source, Payload: "INIT", Seed: o.seed,
 			RunToCompletion: true, MaxSlots: budget, Trajectory: o.curve,
-			Check: o.check,
+			Check: o.check, Shards: o.shards,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -204,6 +205,7 @@ func runProtocol(out io.Writer, o options) error {
 		opts := crn.AggregateOptions{
 			Source: o.source, Func: o.agg, Seed: o.seed, MaxSlots: o.maxSlots,
 			Check: o.check, Recover: o.recover, OutageRate: o.outage,
+			Shards: o.shards,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -236,6 +238,7 @@ func runProtocol(out io.Writer, o options) error {
 		}
 		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
 			Source: o.source, Func: o.agg, Seed: o.seed, Check: o.check,
+			Shards: o.shards,
 		})
 		if err != nil {
 			return err
@@ -352,6 +355,7 @@ func runRepeated(out io.Writer, o options, budget int) error {
 			res, err := net.Broadcast(crn.BroadcastOptions{
 				Source: o.source, Payload: "INIT", Seed: trialSeed,
 				RunToCompletion: true, MaxSlots: budget, Check: o.check,
+				Shards: o.shards,
 			})
 			if err != nil {
 				return 0, err
@@ -370,6 +374,7 @@ func runRepeated(out io.Writer, o options, budget int) error {
 			res, err := net.Aggregate(inputs, crn.AggregateOptions{
 				Source: o.source, Func: o.agg, Seed: trialSeed, MaxSlots: o.maxSlots,
 				Check: o.check, Recover: o.recover, OutageRate: o.outage,
+				Shards: o.shards,
 			})
 			if err != nil {
 				return 0, err

@@ -251,6 +251,12 @@ type BroadcastOptions struct {
 	// and any violation fails the run. Results are unchanged; runs are
 	// slower. Zero cost when false.
 	Check bool
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines, speeding up very large static networks on multi-core
+	// machines. Results are byte-identical at any value — shard results
+	// merge in node order and tie-break draws stay serial — and dynamic or
+	// jammed networks silently run serially. 0 or 1 means serial.
+	Shards int
 }
 
 // BroadcastResult reports a Broadcast run.
@@ -293,6 +299,7 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		Trajectory:       opts.Trajectory,
 		UntilAllInformed: opts.RunToCompletion,
 		Check:            opts.Check,
+		Shards:           opts.Shards,
 	}
 	var collector *metrics.Collector
 	if opts.CollectMetrics {
@@ -409,6 +416,10 @@ type AggregateOptions struct {
 	// MaxRetries bounds per-epoch re-executions before the run degrades
 	// (0 = library default).
 	MaxRetries int
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines, speeding up very large networks on multi-core machines.
+	// Results are byte-identical at any value; 0 or 1 means serial.
+	Shards int
 }
 
 // AggregateResult reports an Aggregate run.
@@ -483,6 +494,7 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 		MaxSlots: opts.MaxSlots,
 		Func:     f,
 		Check:    opts.Check,
+		Shards:   opts.Shards,
 	}
 	if sink != nil {
 		cfg.Trace = sink
@@ -521,6 +533,7 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 		Func:       f,
 		MaxRetries: opts.MaxRetries,
 		Check:      opts.Check,
+		Shards:     opts.Shards,
 	}
 	if sink != nil {
 		cfg.Trace = sink
@@ -618,8 +631,9 @@ func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*Se
 	var arena cogcomp.Arena
 	arena.SetCheck(opts.Check)
 	res, err := arena.RunRounds(nw.asn, sim.NodeID(opts.Source), rounds, opts.Seed, cogcomp.SessionConfig{
-		Kappa: opts.Kappa,
-		Func:  f,
+		Kappa:  opts.Kappa,
+		Func:   f,
+		Shards: opts.Shards,
 	})
 	if err != nil {
 		return nil, err

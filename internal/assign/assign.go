@@ -61,9 +61,20 @@ type Static struct {
 	minOverlap int // k, as guaranteed by construction
 	backing    []int
 	sets       [][]int
+
+	// Derived, invalidated whenever a Builder regenerates the assignment:
+	// the largest physical index handed out (for engine scratch pre-sizing)
+	// and the lazily built channel→members reverse index.
+	maxChan      int
+	maxChanKnown bool
+	index        *Index
 }
 
-var _ sim.Assignment = (*Static)(nil)
+var (
+	_ sim.Assignment           = (*Static)(nil)
+	_ sim.ConcurrentAssignment = (*Static)(nil)
+	_ sim.ChannelBounder       = (*Static)(nil)
+)
 
 // Nodes returns n.
 func (s *Static) Nodes() int { return len(s.sets) }
@@ -79,6 +90,30 @@ func (s *Static) MinOverlap() int { return s.minOverlap }
 
 // ChannelSet returns node's channel set; static assignments ignore slot.
 func (s *Static) ChannelSet(node sim.NodeID, _ int) []int { return s.sets[node] }
+
+// ConcurrentChannelSet reports that ChannelSet is safe for concurrent calls:
+// a built Static is immutable, so the engine may shard its per-slot scan
+// over it.
+func (s *Static) ConcurrentChannelSet() bool { return true }
+
+// MaxPhysChannel returns the largest physical channel index any node holds,
+// or -1 for an assignment with no memberships. Builders compute it at build
+// time; hand-assembled Statics (tests) fall back to a lazy scan.
+func (s *Static) MaxPhysChannel() int {
+	if !s.maxChanKnown {
+		m := -1
+		for _, set := range s.sets {
+			for _, ch := range set {
+				if ch > m {
+					m = ch
+				}
+			}
+		}
+		s.maxChan = m
+		s.maxChanKnown = true
+	}
+	return s.maxChan
+}
 
 // Validate checks every structural invariant of the model: set sizes equal
 // c, channels lie in [0, C), sets contain no duplicates, and every pair of
@@ -137,15 +172,19 @@ func popcount(x uint64) int {
 }
 
 // Overlap returns the number of physical channels nodes u and v share in
-// slot 0. It is a convenience for tests and analysis.
+// slot 0. It is a convenience for tests and analysis, answered from the
+// reverse index: a bitset intersection when the index carries bitsets, a
+// membership probe per channel otherwise.
 func (s *Static) Overlap(u, v sim.NodeID) int {
-	set := make(map[int]struct{}, s.perNode)
-	for _, ch := range s.sets[u] {
-		set[ch] = struct{}{}
+	idx := s.Index()
+	if idx.words > 0 {
+		a := idx.bits[int(u)*idx.words : (int(u)+1)*idx.words]
+		b := idx.bits[int(v)*idx.words : (int(v)+1)*idx.words]
+		return overlapCount(a, b)
 	}
 	n := 0
-	for _, ch := range s.sets[v] {
-		if _, ok := set[ch]; ok {
+	for _, ch := range s.sets[u] {
+		if idx.Contains(v, ch) {
 			n++
 		}
 	}

@@ -53,6 +53,10 @@ type RunConfig struct {
 	// validated. A violation fails the run. Disabled (the default) it costs
 	// nothing; see package invariant.
 	Check bool
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines (sim.WithShards). Results are byte-identical at any value;
+	// 0 or 1 means serial.
+	Shards int
 }
 
 // Arena holds the reusable pieces of a COGCAST execution — nodes, their
@@ -127,6 +131,9 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, 
 
 	check := cfg.Check || a.forceCheck
 	a.opts = append(a.opts[:0], sim.WithCollisionModel(cfg.Collisions))
+	if cfg.Shards > 1 {
+		a.opts = append(a.opts, sim.WithShards(cfg.Shards))
+	}
 	obs := cfg.Observer
 	if cfg.Trace != nil {
 		obs = sim.Tee(obs, trace.NewRecorder(cfg.Trace))

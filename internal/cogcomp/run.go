@@ -38,6 +38,10 @@ type Config struct {
 	// aggfunc.Fold ground truth. A violation fails the run. Disabled (the
 	// default) it costs nothing; see package invariant.
 	Check bool
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines (sim.WithShards). Results are byte-identical at any value;
+	// 0 or 1 means serial.
+	Shards int
 }
 
 // DefaultMaxSlots is the slot budget Run uses when Config.MaxSlots is
@@ -154,6 +158,9 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 
 	check := cfg.Check || a.forceCheck
 	a.engOpts = a.engOpts[:0]
+	if cfg.Shards > 1 {
+		a.engOpts = append(a.engOpts, sim.WithShards(cfg.Shards))
+	}
 	var obs sim.Observer
 	if cfg.Trace != nil {
 		obs = trace.NewRecorder(cfg.Trace)

@@ -31,6 +31,10 @@ type SessionConfig struct {
 	Func aggfunc.Func
 	// RoundSteps is the per-round step window (0 = n + l + 16).
 	RoundSteps int
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines (sim.WithShards). Results are byte-identical at any value;
+	// 0 or 1 means serial.
+	Shards int
 }
 
 // SessionResult reports a multi-round aggregation.
@@ -92,6 +96,9 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 	}
 
 	a.engOpts = a.engOpts[:0]
+	if cfg.Shards > 1 {
+		a.engOpts = append(a.engOpts, sim.WithShards(cfg.Shards))
+	}
 	if a.forceCheck {
 		if err := invariant.CheckAssignment(asn, 0); err != nil {
 			return nil, fmt.Errorf("cogcomp: %w", err)

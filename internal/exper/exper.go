@@ -60,6 +60,13 @@ type Config struct {
 	// prove exactly that (E27) and to let fault experiments (E26) measure
 	// recovery itself.
 	Recover bool
+	// Shards splits every trial's per-slot protocol scan across that many
+	// goroutines inside the engine (sim.WithShards) — intra-trial
+	// parallelism, orthogonal to Parallel's across-trial workers. Tables
+	// and traces are byte-identical for every value: shard results merge in
+	// node order and the engine's tie-break draws stay serial. 0 or 1 means
+	// serial.
+	Shards int
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -106,6 +113,9 @@ type arena struct {
 // to the classic path (TestRecoverByteIdentity pins this across the whole
 // quick suite), so flipping Recover never changes a fault-free table.
 func (a *arena) compRun(cfg Config, asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, ccfg cogcomp.Config) (*cogcomp.Result, error) {
+	if ccfg.Shards == 0 {
+		ccfg.Shards = cfg.Shards
+	}
 	if !cfg.Recover {
 		return a.comp.Run(asn, source, inputs, seed, ccfg)
 	}
@@ -115,6 +125,7 @@ func (a *arena) compRun(cfg Config, asn sim.Assignment, source sim.NodeID, input
 		MaxSlots: ccfg.MaxSlots,
 		Trace:    ccfg.Trace,
 		Check:    ccfg.Check,
+		Shards:   ccfg.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,109 @@
+package exper
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/cogradio/crn/internal/trace"
+)
+
+// shardIdentityFixed are always in the byte-identity matrix: E1 exercises
+// the COGCAST engine path, E4 the COGCOMP phases, E25 multi-round sessions,
+// E26 the crash-restart supervisor (whose traced fault runs must force the
+// engine serial). E28 — the scale sweep whose single trials take seconds —
+// is excluded here and covered by its own engine-level tests.
+var shardIdentityFixed = []string{"E1", "E4", "E25", "E26"}
+
+// TestShardedTrialByteIdentity is the experiment-level half of the
+// WithShards contract: rendered tables must be byte-identical at shard
+// counts 1, 2, 4 and 8, across the fixed engine-heavy set plus a seeded
+// random draw from the rest of the registry. Its main value is under
+// `go test -race`, where every non-serial count stresses the sharded scan
+// against the trial workers.
+func TestShardedTrialByteIdentity(t *testing.T) {
+	subset := map[string]bool{}
+	for _, id := range shardIdentityFixed {
+		subset[id] = true
+	}
+	all := All()
+	rnd := rand.New(rand.NewSource(20260807))
+	rnd.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	extra := 0
+	for _, e := range all {
+		if extra >= 3 {
+			break
+		}
+		if e.ID == "E28" || subset[e.ID] {
+			continue
+		}
+		subset[e.ID] = true
+		extra++
+	}
+	for id := range subset {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want string
+			for _, shards := range []int{1, 2, 4, 8} {
+				tables, err := e.Run(Config{Seed: 7, Trials: 2, Quick: true, Shards: shards})
+				if err != nil {
+					t.Fatalf("%s at %d shards: %v", id, shards, err)
+				}
+				got := renderAll(t, tables)
+				if shards == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: tables at %d shards differ from serial engine:\n--- %d shards ---\n%s\n--- serial ---\n%s",
+						id, shards, shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTraceByteIdentity extends the contract to the event stream:
+// a JSONL trace of a full experiment must be byte-for-byte the same with
+// the sharded scan as with the serial one — channel outcomes are observed
+// after the merge, in the serial engine's order. E1 covers the COGCAST
+// trace events; E26 covers the recovery supervisor, whose traced fault runs
+// are forced serial inside the engine precisely so crashers' fault/restart
+// events keep their deterministic order.
+func TestShardedTraceByteIdentity(t *testing.T) {
+	for _, id := range []string{"E1", "E26"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record := func(shards int) string {
+				var buf bytes.Buffer
+				sink := trace.NewJSONL(&buf)
+				if _, err := e.Run(Config{Seed: 7, Trials: 2, Quick: true, Shards: shards, Trace: sink}); err != nil {
+					t.Fatalf("%s at %d shards: %v", id, shards, err)
+				}
+				if err := sink.Err(); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			serial := record(1)
+			if serial == "" {
+				t.Fatalf("%s emitted no trace events", id)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				if got := record(shards); got != serial {
+					t.Errorf("%s: JSONL trace at %d shards differs from serial engine", id, shards)
+				}
+			}
+		})
+	}
+}

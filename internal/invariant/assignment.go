@@ -2,9 +2,22 @@ package invariant
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/cogradio/crn/internal/sim"
 )
+
+// exhaustivePairNodes is the largest n for which CheckAssignment verifies
+// every pair's overlap. Beyond it the O(n²·c) sweep is infeasible (a
+// 10⁵-node assignment has 5·10⁹ pairs), so the check switches to the ring
+// of adjacent pairs plus a deterministic random sample — every node is
+// still covered at least twice, and a construction bug that shorts the
+// k-overlap contract for a constant fraction of pairs is still caught with
+// overwhelming probability.
+const exhaustivePairNodes = 4096
+
+// sampledPairsPerNode scales the random-pair sample in the large-n regime.
+const sampledPairsPerNode = 4
 
 // CheckAssignment independently verifies an assignment's (n, C, c, k)
 // contract for one slot: parameters are sane, every channel set is
@@ -16,7 +29,9 @@ import (
 // For static assignments one slot covers all of them; for per-slot
 // assignments (dynamic, jamming) it verifies the given slot, and the
 // per-slot Checker covers membership of the channels actually used in
-// every other slot. Cost is O(n²·c); call it once per run, not per slot.
+// every other slot. Pairwise overlap is exhaustive up to
+// exhaustivePairNodes nodes — O(n²·c), call it once per run, not per
+// slot — and sampled (ring + seeded random pairs, O(n·c)) above that.
 func CheckAssignment(a sim.Assignment, slot int) error {
 	n, total, c, k := a.Nodes(), a.Channels(), a.PerNode(), a.MinOverlap()
 	if n < 1 {
@@ -51,18 +66,46 @@ func CheckAssignment(a sim.Assignment, slot int) error {
 		sets[u] = set
 		member[u] = m
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			overlap := 0
-			for _, ch := range sets[v] {
-				if member[u][ch] {
-					overlap++
+	checkPair := func(u, v int) error {
+		overlap := 0
+		for _, ch := range sets[v] {
+			if member[u][ch] {
+				overlap++
+			}
+		}
+		if overlap < k {
+			return fmt.Errorf("invariant: nodes %d and %d overlap on %d channels, below k=%d (slot %d)",
+				u, v, overlap, k, slot)
+		}
+		return nil
+	}
+	if n <= exhaustivePairNodes {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if err := checkPair(u, v); err != nil {
+					return err
 				}
 			}
-			if overlap < k {
-				return fmt.Errorf("invariant: nodes %d and %d overlap on %d channels, below k=%d (slot %d)",
-					u, v, overlap, k, slot)
-			}
+		}
+		return nil
+	}
+	// Large-n regime: ring pairs cover every node, then a seeded sample
+	// spreads coverage across distant pairs. The seed folds in n and the
+	// slot so repeated checks of one run re-draw the same pairs (the oracle
+	// stays deterministic) while different sizes probe different pairs.
+	for u := 0; u < n; u++ {
+		if err := checkPair(u, (u+1)%n); err != nil {
+			return err
+		}
+	}
+	rnd := rand.New(rand.NewSource(0x0a551647 ^ int64(n)<<16 ^ int64(slot)))
+	for i := 0; i < sampledPairsPerNode*n; i++ {
+		u, v := rnd.Intn(n), rnd.Intn(n)
+		if u == v {
+			continue
+		}
+		if err := checkPair(u, v); err != nil {
+			return err
 		}
 	}
 	return nil

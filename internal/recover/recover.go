@@ -95,6 +95,10 @@ type Config struct {
 	// no duplicate contribution after a retry, and checkpoint-log
 	// monotonicity. A violation fails the run.
 	Check bool
+	// Shards splits the engine's per-slot protocol scan across that many
+	// goroutines (sim.WithShards). Results are byte-identical at any value;
+	// 0 or 1 means serial.
+	Shards int
 }
 
 // Result reports one recovered COGCOMP execution.
@@ -203,7 +207,13 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	} else {
 		a.crashers = a.crashers[:0]
 	}
-	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Trace: cfg.Trace, Check: cfg.Check}
+	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Trace: cfg.Trace, Check: cfg.Check, Shards: cfg.Shards}
+	if cfg.Schedule != nil && cfg.Trace != nil {
+		// Traced fault runs must stay serial: crashers emit fault/restart
+		// events from inside Step, and a sharded scan would interleave them
+		// nondeterministically in the trace.
+		ccfg.Shards = 1
+	}
 	nodes, eng, l, err := a.comp.Prepare(asn, source, inputs, seed, ccfg, wrap)
 	if err != nil {
 		return nil, fmt.Errorf("recover: %w", err)

@@ -146,3 +146,29 @@ type Assignment interface {
 	// assignments it is independent of slot.
 	ChannelSet(node NodeID, slot int) []int
 }
+
+// ConcurrentAssignment is an optional Assignment interface declaring that
+// ChannelSet is safe for concurrent calls with distinct nodes — true for
+// immutable assignments (assign.Static), false for stateful ones that cache
+// or re-draw sets per call (dynamic re-draws, jamming adapters). The engine
+// shards its per-slot protocol scan (WithShards) only over assignments that
+// report true; everything else runs the serial scan regardless of the
+// requested shard count.
+type ConcurrentAssignment interface {
+	Assignment
+	// ConcurrentChannelSet reports whether ChannelSet may be called
+	// concurrently for distinct nodes without synchronization.
+	ConcurrentChannelSet() bool
+}
+
+// ChannelBounder is an optional Assignment interface reporting the largest
+// physical channel index the assignment will ever hand out. Channels()
+// already bounds well-formed assignments, but implementations that know
+// their exact maximum let the engine pre-size its dense per-channel scratch
+// at Reset so the grow path never fires mid-run (the grow path survives for
+// assignments without this knowledge).
+type ChannelBounder interface {
+	// MaxPhysChannel returns the largest physical channel index ChannelSet
+	// can return, or -1 if no node holds any channel.
+	MaxPhysChannel() int
+}
