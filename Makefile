@@ -1,12 +1,13 @@
 # Developer entry points. The tier-1 verification flow is:
 #
-#     make check        # build + vet + tests + race detector
+#     make check        # build + vet + fmt + tests + race + scenario library
 #
-# which is what CI (and reviewers) should run before merging.
+# which is what CI (and reviewers) should run before merging. The scenario
+# library gate alone is `make scenario-check`.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench bench-engine baseline baseline-quick baseline-scale fuzz cover clean
+.PHONY: all build test race vet fmt-check scenario-check check bench bench-engine baseline baseline-quick baseline-scale fuzz cover clean
 
 # Per-target fuzzing budget for `make fuzz`.
 FUZZTIME ?= 30s
@@ -34,7 +35,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-check: build vet fmt-check test race
+# Scenario library gate: every committed scenario must validate, and every
+# run's postcondition assertions must hold (see SCENARIOS.md). The whole
+# library executes in well under a second, so there is no quick subset —
+# `run` covers all of scenarios/*.yaml.
+scenario-check:
+	$(GO) run ./cmd/cogsim validate scenarios/*.yaml
+	$(GO) run ./cmd/cogsim run scenarios/*.yaml > /dev/null
+
+check: build vet fmt-check test race scenario-check
 
 # Full benchmark suite (one benchmark per experiment plus the substrate
 # micro-benchmarks).

@@ -2,6 +2,11 @@
 // network and prints what happened. It exercises the public crn API — the
 // same entry points a library user would call.
 //
+// Flags describe a run inline; scenario files (SCENARIOS.md) declare the
+// same runs as data. Both build the same internal/scenario value and share
+// one execution path, so `cogsim run file.yaml` is byte-identical to the
+// equivalent flag invocation.
+//
 // Examples:
 //
 //	cogsim -protocol cogcast -n 128 -c 16 -k 4 -C 48
@@ -11,6 +16,8 @@
 //	cogsim -protocol cogcast -repeat 32 -parallel 8   # seeded repetitions
 //	cogsim -protocol cogcast -trace run.jsonl         # record a JSONL trace
 //	cogsim -trace-summary run.jsonl                   # fold it back into numbers
+//	cogsim run scenarios/broadcast_baseline.yaml      # run a scenario file
+//	cogsim validate scenarios/*.yaml                  # schema-check only
 package main
 
 import (
@@ -20,12 +27,8 @@ import (
 	"io"
 	"os"
 
-	crn "github.com/cogradio/crn"
-	"github.com/cogradio/crn/internal/metrics"
-	"github.com/cogradio/crn/internal/parallel"
 	"github.com/cogradio/crn/internal/prof"
-	"github.com/cogradio/crn/internal/rng"
-	"github.com/cogradio/crn/internal/stats"
+	"github.com/cogradio/crn/internal/scenario"
 	"github.com/cogradio/crn/internal/trace"
 )
 
@@ -37,6 +40,14 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenarios(args[1:], out)
+		case "validate":
+			return validateScenarios(args[1:], out)
+		}
+	}
 	fs := flag.NewFlagSet("cogsim", flag.ContinueOnError)
 	var (
 		protocol = fs.String("protocol", "cogcast", "protocol: cogcast, cogcomp, session, gossip, rendezvous, rendezvous-agg, hop")
@@ -79,223 +90,106 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = runProtocol(out, options{
-		protocol: *protocol, n: *n, c: *c, k: *k, total: *total,
-		topology: *topology, labels: *labels, dynamic: *dynamic,
-		jam: *jam, jamK: *jamK, seed: *seed, source: *source, agg: *agg,
-		rounds: *rounds, rumors: *rumors, maxSlots: *maxSlots, curve: *curve,
-		repeat: *repeat, workers: *workers, shards: *shards, traceTo: *traceTo,
-		check: *check, recover: *recov, outage: *outage,
-	})
+	// The flag set becomes a Scenario verbatim — no Normalize, no
+	// Validate, so flag semantics (including -seed 0) and the legacy
+	// guard errors stay exactly as they were. Execute is the shared run
+	// path; file mode goes through the same call.
+	sc := &scenario.Scenario{
+		Name: "cli",
+		Seed: *seed,
+		Topology: scenario.Topology{
+			Nodes:           *n,
+			ChannelsPerNode: *c,
+			MinOverlap:      *k,
+			TotalChannels:   *total,
+			Generator:       *topology,
+			Labels:          *labels,
+			Dynamic:         *dynamic,
+		},
+		Protocol: scenario.Protocol{
+			Name:      *protocol,
+			Source:    *source,
+			Payload:   "INIT",
+			Aggregate: *agg,
+			Rounds:    *rounds,
+			Rumors:    *rumors,
+			MaxSlots:  *maxSlots,
+			Curve:     *curve,
+		},
+		Engine: scenario.Engine{
+			Shards:   *shards,
+			Parallel: *workers,
+			Repeat:   *repeat,
+			Check:    *check,
+			Trace:    *traceTo,
+		},
+		Recovery: scenario.Recovery{Enabled: *recov, OutageRate: *outage},
+	}
+	if *jam != "" {
+		sc.Topology = scenario.Topology{
+			Nodes:           *n,
+			ChannelsPerNode: *c,
+			Generator:       "jammed",
+			Labels:          "local",
+			JamStrategy:     *jam,
+			JamBudget:       *jamK,
+		}
+	}
+	_, err = sc.Execute(out)
 	if serr := stop(); err == nil {
 		err = serr
 	}
 	return err
 }
 
-// options carries the parsed flags to the protocol runner.
-type options struct {
-	protocol                 string
-	n, c, k, total           int
-	topology, labels         string
-	dynamic                  bool
-	jam                      string
-	jamK                     int
-	seed                     int64
-	source                   int
-	agg                      string
-	rounds, rumors, maxSlots int
-	curve                    bool
-	repeat, workers, shards  int
-	traceTo                  string
-	check                    bool
-	recover                  bool
-	outage                   float64
-}
-
-func runProtocol(out io.Writer, o options) error {
-	net, err := buildNetwork(o.jam, o.jamK, o.n, o.c, o.k, o.total, o.topology, o.labels, o.dynamic, o.seed)
-	if err != nil {
-		return err
+// runScenarios implements `cogsim run file.yaml...`: load each scenario,
+// execute it, and evaluate its assertions; any failure exits non-zero.
+func runScenarios(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("run: need at least one scenario file")
 	}
-	fmt.Fprintf(out, "network: n=%d c=%d k=%d C=%d dynamic=%v\n",
-		net.Nodes(), net.ChannelsPerNode(), net.MinOverlap(), net.TotalChannels(), net.Dynamic())
-	fmt.Fprintf(out, "theory:  COGCAST slot bound = %d\n", net.SlotBound(0))
-
-	budget := o.maxSlots
-	if budget == 0 {
-		budget = 64 * net.SlotBound(0)
-	}
-	if o.repeat > 1 {
-		if o.traceTo != "" {
-			return fmt.Errorf("-trace records a single run; drop -repeat")
+	for _, path := range args {
+		if len(args) > 1 {
+			fmt.Fprintf(out, "--- %s\n", path)
 		}
-		return runRepeated(out, o, budget)
-	}
-
-	// -trace: open the file up front so a bad path fails before the run,
-	// and buffer it — JSONL emits one small write per event.
-	var traceFile *os.File
-	var traceW *bufio.Writer
-	if o.traceTo != "" {
-		if o.protocol != "cogcast" && o.protocol != "cogcomp" {
-			return fmt.Errorf("-trace supports cogcast and cogcomp, not %q", o.protocol)
-		}
-		traceFile, err = os.Create(o.traceTo)
+		sc, err := scenario.Load(path)
 		if err != nil {
 			return err
 		}
-		traceW = bufio.NewWriter(traceFile)
-	}
-	closeTrace := func() error {
-		if traceFile == nil {
-			return nil
-		}
-		ferr := traceW.Flush()
-		if cerr := traceFile.Close(); ferr == nil {
-			ferr = cerr
-		}
-		traceFile = nil
-		return ferr
-	}
-	defer closeTrace()
-
-	if o.check && o.protocol != "cogcast" && o.protocol != "cogcomp" && o.protocol != "session" {
-		return fmt.Errorf("-check supports cogcast, cogcomp and session, not %q", o.protocol)
-	}
-	if (o.recover || o.outage > 0) && o.protocol != "cogcomp" {
-		return fmt.Errorf("-recover/-outage support cogcomp, not %q", o.protocol)
-	}
-	if o.outage > 0 && !o.recover {
-		return fmt.Errorf("-outage needs -recover (the classic runner has no fault injection)")
-	}
-
-	switch o.protocol {
-	case "cogcast":
-		opts := crn.BroadcastOptions{
-			Source: o.source, Payload: "INIT", Seed: o.seed,
-			RunToCompletion: true, MaxSlots: budget, Trajectory: o.curve,
-			Check: o.check, Shards: o.shards,
-		}
-		if traceW != nil {
-			opts.Trace = traceW
-			opts.CollectMetrics = true
-		}
-		res, err := net.Broadcast(opts)
-		if err != nil {
+		if err := sc.Run(out); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "cogcast: %d slots, all informed: %v, tree height %d\n",
-			res.Slots, res.AllInformed, res.TreeHeight)
-		if o.curve {
-			fmt.Fprintf(out, "epidemic: %s\n", sparkline(res.Trajectory, net.Nodes()))
-		}
-		if traceW != nil {
-			if err := closeTrace(); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "medium: %s\n", mediumLine(res.Metrics))
-			fmt.Fprintf(out, "trace: wrote %s\n", o.traceTo)
-		}
-	case "cogcomp":
-		inputs := make([]int64, net.Nodes())
-		for i := range inputs {
-			inputs[i] = int64(i)
-		}
-		opts := crn.AggregateOptions{
-			Source: o.source, Func: o.agg, Seed: o.seed, MaxSlots: o.maxSlots,
-			Check: o.check, Recover: o.recover, OutageRate: o.outage,
-			Shards: o.shards,
-		}
-		if traceW != nil {
-			opts.Trace = traceW
-		}
-		res, err := net.Aggregate(inputs, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "cogcomp: %d slots (phases %d/%d/%d/%d), %s = %v, max message %d words\n",
-			res.Slots, res.Phase1Slots, res.Phase2Slots, res.Phase3Slots, res.Phase4Slots,
-			o.agg, res.Value, res.MaxMessageSize)
-		if o.recover {
-			fmt.Fprintf(out, "recovery: contributors %d/%d, retries %d, re-elections %d, restarts %d, degraded %v, stalled %v\n",
-				len(res.Contributors), net.Nodes(), res.Retries, res.Reelections, res.Restarts,
-				res.Degraded, res.Stalled)
-		}
-		if traceW != nil {
-			if err := closeTrace(); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "trace: wrote %s\n", o.traceTo)
-		}
-	case "session":
-		roundInputs := make([][]int64, o.rounds)
-		for r := range roundInputs {
-			roundInputs[r] = make([]int64, net.Nodes())
-			for i := range roundInputs[r] {
-				roundInputs[r][i] = int64(r*1000 + i)
-			}
-		}
-		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
-			Source: o.source, Func: o.agg, Seed: o.seed, Check: o.check,
-			Shards: o.shards,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "session: %d rounds in %d slots (setup %d + %d/round window)\n",
-			o.rounds, res.Slots, res.SetupSlots, res.RoundSlots)
-		for r, v := range res.Values {
-			fmt.Fprintf(out, "  round %d: %s = %v\n", r+1, o.agg, v)
-		}
-	case "gossip":
-		sources := make([]crn.NodeID, o.rumors)
-		for i := range sources {
-			sources[i] = (i * net.Nodes()) / o.rumors
-		}
-		res, err := net.Gossip(sources, o.seed, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "gossip: %d rumors to all %d nodes in %d slots, complete: %v\n",
-			o.rumors, net.Nodes(), res.Slots, res.Complete)
-	case "rendezvous":
-		slots, done, err := net.RendezvousBroadcast(o.source, "INIT", o.seed, 128*budget)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "rendezvous broadcast: %d slots, complete: %v\n", slots, done)
-	case "rendezvous-agg":
-		inputs := make([]int64, net.Nodes())
-		slots, done, err := net.RendezvousAggregate(o.source, inputs, o.seed, 1024*budget)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "rendezvous aggregation: %d slots, complete: %v\n", slots, done)
-	case "hop":
-		slots, done, err := net.HoppingTogether(o.source, "INIT", o.seed, 64*net.TotalChannels())
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "hopping-together: %d slots, complete: %v (one spectrum pass = %d)\n",
-			slots, done, net.TotalChannels())
-	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
 	}
 	return nil
 }
 
-// mediumLine renders public MediumMetrics through the internal
-// metrics.Metrics formatter, so the live run's line and the one
-// -trace-summary replays from a trace are comparable byte for byte.
-func mediumLine(m *crn.MediumMetrics) string {
-	return metrics.Metrics{
-		Slots:               m.Slots,
-		BusyChannelsPerSlot: m.BusyChannelsPerSlot,
-		CollisionRate:       m.CollisionRate,
-		DeliveryRate:        m.DeliveryRate,
-		BroadcastsPerSlot:   m.BroadcastsPerSlot,
-	}.String()
+// validateScenarios implements `cogsim validate [-canonical] file.yaml...`:
+// parse, normalize and validate each file without running anything.
+// -canonical prints the normalized canonical YAML instead of "ok" lines.
+func validateScenarios(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cogsim validate", flag.ContinueOnError)
+	canonical := fs.Bool("canonical", false, "print each scenario's canonical normalized YAML")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("validate: need at least one scenario file")
+	}
+	for _, path := range files {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		if *canonical {
+			if _, err := out.Write(sc.Emit()); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "ok: %s (%s)\n", path, sc.Name)
+		}
+	}
+	return nil
 }
 
 // summarizeTrace implements -trace-summary: read a JSONL trace and fold it
@@ -339,130 +233,4 @@ func summarizeTrace(out io.Writer, path string) error {
 		fmt.Fprintf(out, "phase %d: starts slot %d (nominal length %d)\n", p.A, p.Slot, p.B)
 	}
 	return nil
-}
-
-// runRepeated executes -repeat independent seeded repetitions of cogcast or
-// cogcomp across a bounded worker pool, prints one line per repetition
-// (index, derived seed, slots) and a slot-count summary. Every repetition
-// rebuilds its network from a seed derived from the repetition index, so
-// the output is byte-identical at any -parallel value (dynamic and jammed
-// assignments are stateful and must not be shared).
-func runRepeated(out io.Writer, o options, budget int) error {
-	var fn func(trialSeed int64, net *crn.Network) (float64, error)
-	switch o.protocol {
-	case "cogcast":
-		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
-			res, err := net.Broadcast(crn.BroadcastOptions{
-				Source: o.source, Payload: "INIT", Seed: trialSeed,
-				RunToCompletion: true, MaxSlots: budget, Check: o.check,
-				Shards: o.shards,
-			})
-			if err != nil {
-				return 0, err
-			}
-			if !res.AllInformed {
-				return 0, fmt.Errorf("cogcast incomplete within %d slots", budget)
-			}
-			return float64(res.Slots), nil
-		}
-	case "cogcomp":
-		fn = func(trialSeed int64, net *crn.Network) (float64, error) {
-			inputs := make([]int64, net.Nodes())
-			for i := range inputs {
-				inputs[i] = int64(i)
-			}
-			res, err := net.Aggregate(inputs, crn.AggregateOptions{
-				Source: o.source, Func: o.agg, Seed: trialSeed, MaxSlots: o.maxSlots,
-				Check: o.check, Recover: o.recover, OutageRate: o.outage,
-				Shards: o.shards,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return float64(res.Slots), nil
-		}
-	default:
-		return fmt.Errorf("-repeat supports cogcast and cogcomp, not %q", o.protocol)
-	}
-	slots, err := parallel.Map(o.repeat, o.workers, func(i int) (float64, error) {
-		trialSeed := rng.Derive(o.seed, int64(i))
-		net, err := buildNetwork(o.jam, o.jamK, o.n, o.c, o.k, o.total, o.topology, o.labels, o.dynamic, trialSeed)
-		if err != nil {
-			return 0, fmt.Errorf("rep %d (seed %d): %w", i, trialSeed, err)
-		}
-		v, err := fn(trialSeed, net)
-		if err != nil {
-			return 0, fmt.Errorf("rep %d (seed %d): %w", i, trialSeed, err)
-		}
-		return v, nil
-	})
-	if err != nil {
-		return err
-	}
-	for i, v := range slots {
-		fmt.Fprintf(out, "rep %d seed=%d: %.0f slots\n", i, rng.Derive(o.seed, int64(i)), v)
-	}
-	s, err := stats.Summarize(slots)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "%s x%d: slots min %.0f / median %.1f / mean %.1f / p99 %.1f / max %.0f\n",
-		o.protocol, o.repeat, s.Min, s.Median, s.Mean, s.P99, s.Max)
-	return nil
-}
-
-// sparkline renders an informed-count trajectory as a compact bar curve.
-func sparkline(traj []int, max int) string {
-	if len(traj) == 0 || max == 0 {
-		return ""
-	}
-	const bars = "▁▂▃▄▅▆▇█"
-	// Downsample long runs to at most 60 columns.
-	step := (len(traj) + 59) / 60
-	var b []rune
-	for i := 0; i < len(traj); i += step {
-		level := traj[i] * (len([]rune(bars)) - 1) / max
-		b = append(b, []rune(bars)[level])
-	}
-	return string(b)
-}
-
-func buildNetwork(jam string, jamK, n, c, k, total int, topology, labels string, dynamic bool, seed int64) (*crn.Network, error) {
-	if jam != "" {
-		return crn.NewJammedNetwork(n, c, jamK, jam, seed)
-	}
-	spec := crn.Spec{
-		Nodes:           n,
-		ChannelsPerNode: c,
-		MinOverlap:      k,
-		TotalChannels:   total,
-		Dynamic:         dynamic,
-		Seed:            seed,
-	}
-	if spec.TotalChannels == 0 {
-		spec.TotalChannels = 3 * c
-	}
-	switch topology {
-	case "full":
-		spec.Topology = crn.FullOverlap
-	case "partitioned":
-		spec.Topology = crn.Partitioned
-	case "shared-core":
-		spec.Topology = crn.SharedCore
-	case "random-pool":
-		spec.Topology = crn.RandomPool
-	case "pairwise":
-		spec.Topology = crn.PairwiseDedicated
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topology)
-	}
-	switch labels {
-	case "local":
-		spec.Labels = crn.LocalLabels
-	case "global":
-		spec.Labels = crn.GlobalLabels
-	default:
-		return nil, fmt.Errorf("unknown label model %q", labels)
-	}
-	return crn.NewNetwork(spec)
 }

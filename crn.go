@@ -113,6 +113,13 @@ type Spec struct {
 	// (SharedCore semantics). Broadcast supports dynamic networks;
 	// Aggregate requires a static one.
 	Dynamic bool
+	// FlipSlots re-draws channel sets at exactly the listed slots (strictly
+	// increasing, positive) while preserving MinOverlap — SharedCore
+	// semantics with operator-driven reassignment events instead of
+	// Dynamic's per-slot churn. Requires Topology SharedCore, local labels,
+	// and Dynamic false. The network counts as dynamic: Broadcast supports
+	// it, Aggregate does not.
+	FlipSlots []int
 	// Seed determines the generated assignment.
 	Seed int64
 }
@@ -130,6 +137,9 @@ func NewNetwork(spec Spec) (*Network, error) {
 		model = assign.GlobalLabels
 	}
 	if spec.Dynamic {
+		if len(spec.FlipSlots) > 0 {
+			return nil, errors.New("crn: Dynamic re-draws every slot already; drop FlipSlots")
+		}
 		if spec.Topology != SharedCore {
 			return nil, errors.New("crn: dynamic networks use SharedCore semantics; set Topology: SharedCore")
 		}
@@ -137,6 +147,19 @@ func NewNetwork(spec Spec) (*Network, error) {
 			return nil, errors.New("crn: dynamic networks re-draw sets per slot and only support local labels")
 		}
 		asn, err := assign.NewDynamic(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, spec.TotalChannels, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Network{asn: asn, dynamic: true}, nil
+	}
+	if len(spec.FlipSlots) > 0 {
+		if spec.Topology != SharedCore {
+			return nil, errors.New("crn: flipping networks use SharedCore semantics; set Topology: SharedCore")
+		}
+		if spec.Labels == GlobalLabels {
+			return nil, errors.New("crn: flipping networks re-draw sets at flip slots and only support local labels")
+		}
+		asn, err := assign.NewFlipping(spec.Nodes, spec.ChannelsPerNode, spec.MinOverlap, spec.TotalChannels, spec.Seed, spec.FlipSlots)
 		if err != nil {
 			return nil, err
 		}
@@ -174,22 +197,82 @@ func NewNetwork(spec Spec) (*Network, error) {
 // network with pairwise overlap at least c−2·kJam; Broadcast runs over it
 // unmodified.
 func NewJammedNetwork(nodes, channels, kJam int, strategy string, seed int64) (*Network, error) {
-	var jam jamming.Jammer
+	jam, err := newJammer(strategy, channels, kJam, seed)
+	if err != nil {
+		return nil, err
+	}
+	asn, err := jamming.NewAssignment(nodes, channels, kJam, jam, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{asn: asn, dynamic: true}, nil
+}
+
+// newJammer maps a strategy name to a jamming adversary with the given
+// per-node budget.
+func newJammer(strategy string, channels, kJam int, seed int64) (jamming.Jammer, error) {
 	switch strategy {
 	case "none":
-		jam = jamming.NoJammer{}
+		return jamming.NoJammer{}, nil
 	case "random":
-		jam = jamming.NewRandomJammer(channels, kJam, seed)
+		return jamming.NewRandomJammer(channels, kJam, seed), nil
 	case "sweep":
-		jam = jamming.NewSweepJammer(channels, kJam)
+		return jamming.NewSweepJammer(channels, kJam), nil
 	case "block":
-		jam = jamming.NewBlockSweepJammer(channels, kJam, 8)
+		return jamming.NewBlockSweepJammer(channels, kJam, 8), nil
 	case "split":
-		jam = jamming.NewSplitJammer(channels, kJam, 4)
+		return jamming.NewSplitJammer(channels, kJam, 4), nil
 	default:
 		return nil, fmt.Errorf("crn: unknown jammer strategy %q (want none, random, sweep, block or split)", strategy)
 	}
-	asn, err := jamming.NewAssignment(nodes, channels, kJam, jam, seed)
+}
+
+// JamPhase is one segment of a phase-scheduled jamming adversary: from
+// FromSlot on, the adversary plays Strategy with a per-node budget of
+// Budget jammed channels per slot.
+type JamPhase struct {
+	FromSlot int
+	Strategy string
+	Budget   int
+}
+
+// NewJammedNetworkPhases builds the Theorem 18 reduction under an adversary
+// that switches strategies at pre-declared slots (the scenario DSL's
+// "jam-switch" events): phase i's strategy and budget apply from its
+// FromSlot until the next phase starts. Phases must start at slot 0 and
+// have strictly increasing FromSlots; each phase is still oblivious, so
+// the whole adversary stays deterministic and runs reproducible. The
+// reduction's overlap guarantee uses the largest budget of any phase
+// (which must stay below channels/2).
+func NewJammedNetworkPhases(nodes, channels int, phases []JamPhase, seed int64) (*Network, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("crn: jammed network needs at least one phase")
+	}
+	maxBudget := 0
+	sw := make([]jamming.SwitchPhase, len(phases))
+	for i, p := range phases {
+		jam, err := newJammer(p.Strategy, channels, p.Budget, seed)
+		if err != nil {
+			return nil, err
+		}
+		if p.Budget > maxBudget {
+			maxBudget = p.Budget
+		}
+		sw[i] = jamming.SwitchPhase{From: p.FromSlot, Jammer: jam}
+	}
+	var jam jamming.Jammer
+	if len(sw) == 1 {
+		// A single phase is exactly NewJammedNetwork; skip the switcher so
+		// the two constructors stay byte-identical.
+		jam = sw[0].Jammer
+	} else {
+		var err error
+		jam, err = jamming.NewSwitcher(sw...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	asn, err := jamming.NewAssignment(nodes, channels, maxBudget, jam, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -416,10 +499,83 @@ type AggregateOptions struct {
 	// MaxRetries bounds per-epoch re-executions before the run degrades
 	// (0 = library default).
 	MaxRetries int
+	// Faults, with Recover set, injects additional timed fault elements on
+	// top of OutageRate's whole-run churn: each FaultSpec contributes one
+	// deterministic crash-restart schedule and a node is down whenever any
+	// element says so. This is the programmatic form of the scenario DSL's
+	// event schedule (see SCENARIOS.md).
+	Faults []FaultSpec
 	// Shards splits the engine's per-slot protocol scan across that many
 	// goroutines, speeding up very large networks on multi-core machines.
 	// Results are byte-identical at any value; 0 or 1 means serial.
 	Shards int
+}
+
+// FaultSpec declares one timed fault-injection element of a recovered run.
+// Kind selects the fault process:
+//
+//   - "random": every unprotected node independently starts a
+//     Duration-slot outage with per-slot probability Rate (the source is
+//     protected).
+//   - "correlated": blocks of Group consecutive node ids fail together
+//     with per-slot probability Rate for Duration slots.
+//   - "blackout": the listed Nodes are down for the whole window — the
+//     deterministic worst case.
+//
+// From and Until clip the element to slots [From, Until); Until 0 leaves
+// it open-ended ("blackout" requires an explicit Until).
+type FaultSpec struct {
+	Kind        string
+	From, Until int
+	Rate        float64
+	Duration    int
+	Group       int
+	Nodes       []NodeID
+}
+
+// schedule builds the internal fault schedule for one spec.
+func (f FaultSpec) schedule(seed int64, source NodeID) (faults.Schedule, error) {
+	duration := f.Duration
+	if duration == 0 {
+		duration = 10
+	}
+	var (
+		s   faults.Schedule
+		err error
+	)
+	switch f.Kind {
+	case "random":
+		s, err = faults.NewRandomOutages(f.Rate, duration, seed, sim.NodeID(source))
+	case "correlated":
+		group := f.Group
+		if group == 0 {
+			group = 8
+		}
+		s, err = faults.NewCorrelatedOutages(f.Rate, duration, group, seed, sim.NodeID(source))
+	case "blackout":
+		if f.Until <= f.From {
+			return nil, fmt.Errorf("crn: blackout fault needs a window with Until > From, got [%d, %d)", f.From, f.Until)
+		}
+		for _, id := range f.Nodes {
+			if id == source {
+				return nil, fmt.Errorf("crn: blackout fault must not include the source node %d", source)
+			}
+		}
+		nodes := make([]sim.NodeID, len(f.Nodes))
+		for i, id := range f.Nodes {
+			nodes[i] = sim.NodeID(id)
+		}
+		return faults.NewBlackout(f.From, f.Until, nodes...)
+	default:
+		return nil, fmt.Errorf("crn: unknown fault kind %q (want random, correlated or blackout)", f.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if f.From > 0 || f.Until > 0 {
+		return faults.NewClipped(s, f.From, f.Until)
+	}
+	return s, nil
 }
 
 // AggregateResult reports an Aggregate run.
@@ -538,12 +694,27 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 	if sink != nil {
 		cfg.Trace = sink
 	}
+	var parts []faults.Schedule
 	if opts.OutageRate > 0 {
 		duration := opts.OutageDuration
 		if duration == 0 {
 			duration = 10
 		}
 		schedule, err := faults.NewRandomOutages(opts.OutageRate, duration, opts.Seed, sim.NodeID(opts.Source))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, schedule)
+	}
+	for _, f := range opts.Faults {
+		s, err := f.schedule(opts.Seed, opts.Source)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, s)
+	}
+	if len(parts) > 0 {
+		schedule, err := faults.Compose(parts...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// Clipped restricts an inner schedule to a slot window: outside
+// [from, until) every node is up, inside the inner schedule decides. An
+// until of 0 leaves the window open-ended. This is how the scenario DSL's
+// timed events turn whole-run schedules (RandomOutages,
+// CorrelatedOutages) into episodes — a churn storm between two slots, a
+// correlated outage wave that ends.
+type Clipped struct {
+	inner       Schedule
+	from, until int
+}
+
+var _ Schedule = (*Clipped)(nil)
+
+// NewClipped wraps inner so it only applies during slots [from, until)
+// (until 0 = no upper bound).
+func NewClipped(inner Schedule, from, until int) (*Clipped, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faults: clip of a nil schedule")
+	}
+	if from < 0 || (until != 0 && until <= from) {
+		return nil, fmt.Errorf("faults: invalid clip window [%d, %d)", from, until)
+	}
+	return &Clipped{inner: inner, from: from, until: until}, nil
+}
+
+// Name implements Schedule.
+func (c *Clipped) Name() string {
+	if c.until == 0 {
+		return fmt.Sprintf("%s[%d:]", c.inner.Name(), c.from)
+	}
+	return fmt.Sprintf("%s[%d:%d]", c.inner.Name(), c.from, c.until)
+}
+
+// Up implements Schedule.
+func (c *Clipped) Up(node sim.NodeID, slot int) bool {
+	if slot < c.from || (c.until != 0 && slot >= c.until) {
+		return true
+	}
+	return c.inner.Up(node, slot)
+}
+
+// Composed is the conjunction of several schedules: a node is up only when
+// every constituent says it is. It lets a scenario layer independent fault
+// processes — background random churn plus a targeted blackout — into the
+// one Schedule the recovery supervisor accepts.
+type Composed struct {
+	parts []Schedule
+}
+
+var _ Schedule = (*Composed)(nil)
+
+// Compose combines schedules into one. With a single schedule it returns
+// that schedule unchanged, so composing never perturbs the single-source
+// fast path (or its byte-identity with hand-wired runs).
+func Compose(parts ...Schedule) (Schedule, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("faults: compose of no schedules")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("faults: compose part %d is nil", i)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Composed{parts: append([]Schedule(nil), parts...)}, nil
+}
+
+// Name implements Schedule.
+func (c *Composed) Name() string {
+	names := make([]string, len(c.parts))
+	for i, p := range c.parts {
+		names[i] = p.Name()
+	}
+	return "compose(" + strings.Join(names, "+") + ")"
+}
+
+// Up implements Schedule.
+func (c *Composed) Up(node sim.NodeID, slot int) bool {
+	for _, p := range c.parts {
+		if !p.Up(node, slot) {
+			return false
+		}
+	}
+	return true
+}

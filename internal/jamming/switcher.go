@@ -1,0 +1,72 @@
+package jamming
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// SwitchPhase is one segment of a Switcher's timeline: from slot From
+// (inclusive) the adversary plays Jammer until the next phase takes over.
+type SwitchPhase struct {
+	From   int
+	Jammer Jammer
+}
+
+// Switcher chains jamming strategies over time — the "adaptive precursor"
+// adversary of the scenario DSL: still oblivious within each phase (the
+// model grants the adversary no access to the nodes' coins), but able to
+// switch strategies at pre-declared slots, e.g. random probing that turns
+// into a block sweep once the epidemic is underway. Because each phase's
+// inner jammer is a deterministic function of (slot, node), so is the
+// Switcher, and runs stay reproducible.
+type Switcher struct {
+	phases []SwitchPhase
+}
+
+var _ Jammer = (*Switcher)(nil)
+
+// NewSwitcher builds a phase-scheduled jammer. Phases must be non-empty,
+// start at slot 0, and have strictly increasing From slots.
+func NewSwitcher(phases ...SwitchPhase) (*Switcher, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("jamming: switcher needs at least one phase")
+	}
+	if phases[0].From != 0 {
+		return nil, fmt.Errorf("jamming: switcher's first phase must start at slot 0, not %d", phases[0].From)
+	}
+	for i, p := range phases {
+		if p.Jammer == nil {
+			return nil, fmt.Errorf("jamming: switcher phase %d has a nil jammer", i)
+		}
+		if i > 0 && p.From <= phases[i-1].From {
+			return nil, fmt.Errorf("jamming: switcher phases must have strictly increasing start slots (phase %d starts at %d, previous at %d)",
+				i, p.From, phases[i-1].From)
+		}
+	}
+	return &Switcher{phases: append([]SwitchPhase(nil), phases...)}, nil
+}
+
+// Name implements Jammer, e.g. "switch(random@0,block@100)".
+func (s *Switcher) Name() string {
+	parts := make([]string, len(s.phases))
+	for i, p := range s.phases {
+		parts[i] = fmt.Sprintf("%s@%d", p.Jammer.Name(), p.From)
+	}
+	return "switch(" + strings.Join(parts, ",") + ")"
+}
+
+// Jammed implements Jammer by delegating to the phase active in the slot.
+// Inner jammers see the global slot number — a sweeping phase that takes
+// over mid-run resumes the sweep position it would have had, keeping phase
+// boundaries free of hidden state.
+func (s *Switcher) Jammed(slot int, node sim.NodeID) []int {
+	// The active phase is the last one whose From <= slot.
+	i := sort.Search(len(s.phases), func(i int) bool { return s.phases[i].From > slot }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.phases[i].Jammer.Jammed(slot, node)
+}

@@ -1,0 +1,69 @@
+package scenario
+
+// Postcondition checking. Assert prints one line per assertion so a
+// scenario run reads as a report, and returns an error when any fails —
+// `cogsim run` turns that into a non-zero exit for CI.
+
+import (
+	"fmt"
+	"io"
+)
+
+// Assert evaluates the scenario's assertions against a run's Outcome,
+// printing one "assert <kind>: ok/FAILED" line each, and returns an error
+// if any failed.
+func (sc *Scenario) Assert(out io.Writer, oc *Outcome) error {
+	failed := 0
+	report := func(kind string, ok bool, format string, args ...any) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAILED"
+			failed++
+		}
+		fmt.Fprintf(out, "assert %s: %s (%s)\n", kind, verdict, fmt.Sprintf(format, args...))
+	}
+	for _, a := range sc.Assertions {
+		switch a.Kind {
+		case AsCompletedBy:
+			if len(oc.RepSlots) > 0 {
+				worst := 0.0
+				for _, v := range oc.RepSlots {
+					if v > worst {
+						worst = v
+					}
+				}
+				report(a.Kind, worst <= float64(a.Slots),
+					"max %.0f of %d slots across %d reps", worst, a.Slots, len(oc.RepSlots))
+			} else {
+				report(a.Kind, oc.Slots <= a.Slots, "%d of %d slots", oc.Slots, a.Slots)
+			}
+		case AsAllInformed:
+			report(a.Kind, oc.AllInformed, "all informed: %v", oc.AllInformed)
+		case AsExactCensus:
+			ok := !oc.Degraded && !oc.Stalled && oc.Contributors == oc.Nodes
+			report(a.Kind, ok, "contributors %d/%d, degraded %v, stalled %v",
+				oc.Contributors, oc.Nodes, oc.Degraded, oc.Stalled)
+		case AsDegradedCensus:
+			ok := !oc.Stalled && oc.Contributors >= a.MinContributors
+			report(a.Kind, ok, "contributors %d (floor %d), stalled %v",
+				oc.Contributors, a.MinContributors, oc.Stalled)
+		case AsMaxRetries:
+			report(a.Kind, int64(oc.Retries) <= a.Value, "%d of %d retries", oc.Retries, a.Value)
+		case AsMaxReelections:
+			report(a.Kind, int64(oc.Reelections) <= a.Value, "%d of %d re-elections", oc.Reelections, a.Value)
+		case AsMaxRestarts:
+			report(a.Kind, int64(oc.Restarts) <= a.Value, "%d of %d restarts", oc.Restarts, a.Value)
+		case AsValueEquals:
+			v, isInt := oc.Value.(int64)
+			report(a.Kind, isInt && v == a.Value, "%s = %v, want %d", sc.Protocol.Aggregate, oc.Value, a.Value)
+		case AsOracleClean:
+			// A violation fails the run itself before Assert sees it, so
+			// reaching this line means the oracle stayed silent.
+			report(a.Kind, true, "run completed under the invariant oracle")
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("scenario %s: %d of %d assertions failed", sc.Name, failed, len(sc.Assertions))
+	}
+	return nil
+}

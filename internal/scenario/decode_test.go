@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRejects pins the exact error for every class of malformed
+// document: unknown fields, mistyped values, and YAML outside the
+// supported subset. The messages are part of the CLI surface (`cogsim
+// validate` prints them), so they are asserted verbatim.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{
+			"unknown top-level field",
+			"name: x\ntopologie:\n  nodes: 4\n",
+			`scenario: unknown field "topologie" in the top level`,
+		},
+		{
+			"unknown topology field",
+			"name: x\ntopology:\n  node_count: 4\n",
+			`scenario: unknown field "node_count" in topology`,
+		},
+		{
+			"unknown event field",
+			"events:\n  - kind: blackout\n    slot: 3\n",
+			`scenario: unknown field "slot" in events[0]`,
+		},
+		{
+			"unknown assertion field",
+			"assertions:\n  - kind: completed-by\n    bound: 3\n",
+			`scenario: unknown field "bound" in assertions[0]`,
+		},
+		{
+			"string where integer expected",
+			"topology:\n  nodes: many\n",
+			`scenario: topology.nodes: want an integer, got a string`,
+		},
+		{
+			"integer where string expected",
+			"name: 7\n",
+			`scenario: name: want a string, got an integer`,
+		},
+		{
+			"float where integer expected",
+			"seed: 1.5\n",
+			`scenario: seed: want an integer, got a number`,
+		},
+		{
+			"string where boolean expected",
+			"engine:\n  check: yes\n",
+			`scenario: engine.check: want true or false, got a string`,
+		},
+		{
+			"scalar where mapping expected",
+			"topology: big\n",
+			`scenario: topology: want a mapping, got a string`,
+		},
+		{
+			"mapping where list expected",
+			"events:\n  kind: blackout\n",
+			`scenario: events: want a list, got a mapping`,
+		},
+		{
+			"string element in node list",
+			"events:\n  - kind: blackout\n    nodes: [1, two]\n",
+			`scenario: events[0].nodes[1]: want an integer, got a string`,
+		},
+		{
+			"sequence document",
+			"- a\n- b\n",
+			`scenario: document must be a mapping, got a list`,
+		},
+		{
+			"tab indentation",
+			"name: x\ntopology:\n\tnodes: 4\n",
+			`scenario: line 3: tab indentation is not allowed; use spaces`,
+		},
+		{
+			"duplicate key",
+			"name: x\nname: y\n",
+			`scenario: line 2: duplicate key "name"`,
+		},
+		{
+			"flow mapping",
+			"topology: {nodes: 4}\n",
+			`scenario: line 1: flow mappings {...} are not supported; use block form`,
+		},
+		{
+			"block scalar",
+			"description: |\n  long text\n",
+			`scenario: line 1: block scalars (| and >) are not supported; keep strings on one line`,
+		},
+		{
+			"anchor",
+			"name: &base x\n",
+			`scenario: line 1: YAML anchors, aliases and tags are not supported`,
+		},
+		{
+			"missing space after colon",
+			"name:x\n",
+			`scenario: line 1: missing space after "name":`,
+		},
+		{
+			"inconsistent indentation",
+			"topology:\n  nodes: 4\n    generator: full\n",
+			`scenario: line 3: inconsistent indentation (got 4 spaces, block uses 2)`,
+		},
+		{
+			"bad JSON",
+			`{"name": }`,
+			`scenario: bad JSON: invalid character '}' looking for beginning of value`,
+		},
+		{
+			"empty document",
+			"# only a comment\n",
+			`scenario: empty document`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.doc)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseJSONEquivalence: the same scenario as YAML and as JSON decodes
+// to the same struct.
+func TestParseJSONEquivalence(t *testing.T) {
+	yamlDoc := `
+name: twin
+seed: 7
+topology:
+  nodes: 16
+  channels_per_node: 8
+  min_overlap: 2
+  generator: shared-core
+protocol:
+  name: cogcast
+events:
+  - kind: assignment-flip
+    at: 3
+`
+	jsonDoc := `{
+  "name": "twin", "seed": 7,
+  "topology": {"nodes": 16, "channels_per_node": 8, "min_overlap": 2, "generator": "shared-core"},
+  "protocol": {"name": "cogcast"},
+  "events": [{"kind": "assignment-flip", "at": 3}]
+}`
+	fromYAML, err := Parse([]byte(yamlDoc))
+	if err != nil {
+		t.Fatalf("YAML: %v", err)
+	}
+	fromJSON, err := Parse([]byte(jsonDoc))
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	fromYAML.Normalize()
+	fromJSON.Normalize()
+	if string(fromYAML.Emit()) != string(fromJSON.Emit()) {
+		t.Fatalf("YAML and JSON decode differently:\n%s\nvs\n%s", fromYAML.Emit(), fromJSON.Emit())
+	}
+}
+
+// TestParseScalars covers the scalar corners of the YAML subset: quoting,
+// comments, and the null forms.
+func TestParseScalars(t *testing.T) {
+	doc := strings.Join([]string{
+		"name: 'it''s quoted'  # trailing comment",
+		`description: "tab\there"`,
+		"seed: 42",
+		"protocol:",
+		"  name: cogcast  # comments strip outside quotes",
+		"  payload: 'a # not a comment'",
+	}, "\n")
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "it's quoted" {
+		t.Errorf("Name = %q", sc.Name)
+	}
+	if sc.Description != "tab\there" {
+		t.Errorf("Description = %q", sc.Description)
+	}
+	if sc.Protocol.Payload != "a # not a comment" {
+		t.Errorf("Payload = %q", sc.Protocol.Payload)
+	}
+	if sc.Seed != 42 {
+		t.Errorf("Seed = %d", sc.Seed)
+	}
+}

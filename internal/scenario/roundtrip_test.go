@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenKitchenSink: a deliberately messy document (comments, keys out
+// of order, quoted scalars, flow lists) loads and emits exactly the
+// committed canonical form. Run with -update to rewrite the golden file.
+func TestGoldenKitchenSink(t *testing.T) {
+	sc, err := Load("testdata/kitchen_sink.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sc.Emit()
+	golden := "testdata/kitchen_sink.golden"
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("canonical form drifted from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// scenarioFiles returns every committed scenario in the library.
+func scenarioFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 20 {
+		t.Fatalf("scenario library has %d files, want at least 20", len(files))
+	}
+	return files
+}
+
+// TestLibraryValidates: every committed scenario loads (parses,
+// normalizes, validates) cleanly.
+func TestLibraryValidates(t *testing.T) {
+	for _, f := range scenarioFiles(t) {
+		if _, err := Load(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+// TestRoundTripFixedPoint: for the kitchen-sink file and every committed
+// scenario, parse → normalize → emit reaches a fixed point — re-parsing
+// the emitted form yields the identical struct and identical bytes.
+func TestRoundTripFixedPoint(t *testing.T) {
+	files := append([]string{"testdata/kitchen_sink.yaml"}, scenarioFiles(t)...)
+	for _, f := range files {
+		sc, err := Load(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		first := sc.Emit()
+		re, err := Parse(first)
+		if err != nil {
+			t.Fatalf("%s: canonical form does not re-parse: %v", f, err)
+		}
+		re.Normalize()
+		if err := re.Validate(); err != nil {
+			t.Fatalf("%s: canonical form does not re-validate: %v", f, err)
+		}
+		if !reflect.DeepEqual(sc, re) {
+			t.Fatalf("%s: canonical form decodes to a different scenario:\n%#v\nvs\n%#v", f, sc, re)
+		}
+		second := re.Emit()
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: emit is not a fixed point:\n--- first\n%s--- second\n%s", f, first, second)
+		}
+	}
+}
+
+// TestNormalizeIdempotent: normalizing twice changes nothing.
+func TestNormalizeIdempotent(t *testing.T) {
+	for _, f := range scenarioFiles(t) {
+		sc, err := Load(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sc.Emit()
+		sc.Normalize()
+		if !bytes.Equal(before, sc.Emit()) {
+			t.Fatalf("%s: Normalize is not idempotent", f)
+		}
+	}
+}
