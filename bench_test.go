@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduced experiment (E1-E28, matching DESIGN.md's
+// Benchmarks: one per reproduced experiment (E1-E29, matching DESIGN.md's
 // index — run `go test -bench=. -benchmem`), plus micro-benchmarks of the
 // substrates. Experiment benchmarks run the Quick configuration; use
 // cmd/cogbench for the full sweeps and rendered tables.
@@ -68,6 +68,7 @@ func BenchmarkE25AggregationSessions(b *testing.B)    { benchExperiment(b, "E25"
 func BenchmarkE26CrashRestartRecovery(b *testing.B)   { benchExperiment(b, "E26") }
 func BenchmarkE27RecoveryOverhead(b *testing.B)       { benchExperiment(b, "E27") }
 func BenchmarkE28ScaleSweep(b *testing.B)             { benchExperiment(b, "E28") }
+func BenchmarkE29EventDrivenScale(b *testing.B)       { benchExperiment(b, "E29") }
 
 // --- Substrate micro-benchmarks ------------------------------------------------
 
@@ -132,6 +133,69 @@ func BenchmarkEngineSlotLarge(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mnodesteps/s")
+		})
+	}
+}
+
+// censusNode mimics COGCOMP's phase-2 access pattern, the workload whose
+// dense scan is the Θ(n²) census wall: node i broadcasts in the slots where
+// slot%n == i and sleeps through the other n−1, so exactly one node (plus
+// the previous slot's broadcaster, stepping once more to re-park) is awake
+// in any slot.
+type censusNode struct {
+	id, n int
+}
+
+func (cn *censusNode) Step(slot int) sim.Action {
+	turn := slot % cn.n
+	if turn == cn.id {
+		return sim.Broadcast(0, cn.id)
+	}
+	return sim.Sleep((cn.id-turn+cn.n)%cn.n - 1)
+}
+
+func (cn *censusNode) Deliver(int, sim.Event) {}
+func (cn *censusNode) Done() bool             { return false }
+
+// BenchmarkEngineSlotSparse measures the event-driven engine on the
+// dormancy-heavy workload it exists for: the census round-robin above, where
+// dense stepping scans all n nodes every slot while sparse stepping pops a
+// couple of wakes off the queue. The per-slot gap between the two sub-
+// benchmarks is the Θ(n) census factor itself; both are warm, and the
+// sparse variant must stay alloc-free (pinned by TestRunSlotSparseAllocFree).
+func BenchmarkEngineSlotSparse(b *testing.B) {
+	const n, c = 100_000, 16
+	asn, err := assign.SharedCore(n, c, 4, 48, assign.LocalLabels, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"dense", "sparse"} {
+		b.Run(mode, func(b *testing.B) {
+			var opts []sim.Option
+			if mode == "sparse" {
+				opts = append(opts, sim.WithSparse())
+			}
+			protos := make([]sim.Protocol, n)
+			for i := range protos {
+				protos[i] = &censusNode{id: i, n: n}
+			}
+			eng, err := sim.NewEngine(asn, protos, 1, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 4; i++ { // warm scratch and the wake-queue
+				if err := eng.RunSlot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunSlot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "slots/s")
 		})
 	}
 }

@@ -64,6 +64,7 @@ type benchReport struct {
 	Quick       bool          `json:"quick"`
 	Parallel    int           `json:"parallel"`
 	Shards      int           `json:"shards,omitempty"`
+	Sparse      bool          `json:"sparse,omitempty"`
 	Experiments []benchRecord `json:"experiments"`
 	TotalWallMS float64       `json:"total_wall_ms"`
 }
@@ -86,6 +87,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		list     = fs.Bool("list", false, "list experiments and exit")
 		workers  = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are identical for every value")
 		shards   = fs.Int("shards", 1, "goroutines sharding each slot's protocol scan inside the engine (1 = serial); tables are identical for every value")
+		sparse   = fs.Bool("sparse", false, "event-driven stepping: skip dormant nodes instead of scanning all n each slot (sim.WithSparse); tables are identical either way")
 		benchOut = fs.String("bench-out", "", "write a machine-readable JSON benchmark report (wall-clock, slots, allocs per experiment) to this file")
 		compare  = fs.Bool("compare", false, "compare two -bench-out reports (old.json new.json as positional args), print the per-experiment delta table, and exit non-zero on regression")
 		wallLmt  = fs.Float64("wall-limit", 2.0, "with -compare: fail if total wall-clock exceeds this multiple of the old report's (<= 0 disables; wall is machine-dependent)")
@@ -150,7 +152,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *shards > 1 {
 		report.Shards = *shards
 	}
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov, Shards: *shards}
+	report.Sparse = *sparse
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov, Shards: *shards, Sparse: *sparse}
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {

@@ -73,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		repeat   = fs.Int("repeat", 1, "independent seeded repetitions (cogcast and cogcomp only); prints per-repetition lines and a slot-count summary")
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 		shards   = fs.Int("shards", 1, "goroutines sharding each slot's protocol scan inside the engine (1 = serial); output is identical for every value; dynamic/jammed networks run serially")
+		sparse   = fs.Bool("sparse", false, "event-driven stepping: skip dormant nodes instead of scanning all n each slot; output is identical either way; traced/checked and dynamic/jammed runs step densely")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the run to this file (cogcast and cogcomp, single run; schema in TRACE.md)")
 		traceSum = fs.String("trace-summary", "", "read a trace file and fold it back into summary numbers instead of running anything")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -118,6 +119,7 @@ func run(args []string, out io.Writer) error {
 		},
 		Engine: scenario.Engine{
 			Shards:   *shards,
+			Sparse:   *sparse,
 			Parallel: *workers,
 			Repeat:   *repeat,
 			Check:    *check,

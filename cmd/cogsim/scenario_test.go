@@ -120,6 +120,46 @@ engine:
 	}
 }
 
+// TestScenarioSparseFileTwin: the same scenario with engine.sparse false and
+// true produces byte-identical output, and likewise for the -sparse flag —
+// event-driven stepping is a pure wall-clock optimisation. This is the small
+// CLI twin of scenarios/aggregate_sparse_scale.yaml, which exercises the same
+// toggle at 8192 nodes under make scenario-check.
+func TestScenarioSparseFileTwin(t *testing.T) {
+	dir := t.TempDir()
+	const body = `
+name: sparse-twin
+topology:
+  nodes: 512
+  channels_per_node: 8
+  min_overlap: 2
+  generator: shared-core
+protocol:
+  name: cogcomp
+  aggregate: sum
+engine:
+  sparse: %SPARSE%
+`
+	var outs []string
+	for _, sparse := range []string{"false", "true"} {
+		path := filepath.Join(dir, "sparse_"+sparse+".yaml")
+		doc := strings.ReplaceAll(body, "%SPARSE%", sparse)
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, runOut(t, "run", path))
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("sparse vs dense scenario differ:\n--- dense\n%s--- sparse\n%s", outs[0], outs[1])
+	}
+	flags := []string{"-protocol", "cogcomp", "-n", "512", "-c", "8", "-k", "2", "-agg", "sum"}
+	dense := runOut(t, flags...)
+	sparse := runOut(t, append(append([]string{}, flags...), "-sparse")...)
+	if dense != sparse {
+		t.Fatalf("-sparse flag changes output:\n--- dense\n%s--- sparse\n%s", dense, sparse)
+	}
+}
+
 // TestScenarioTraceByteIdentity: a traced scenario run writes a JSONL
 // trace byte-identical to the flag invocation's, for both protocols.
 func TestScenarioTraceByteIdentity(t *testing.T) {

@@ -340,6 +340,13 @@ type BroadcastOptions struct {
 	// merge in node order and tie-break draws stay serial — and dynamic or
 	// jammed networks silently run serially. 0 or 1 means serial.
 	Shards int
+	// Sparse runs the engine in event-driven stepping mode: nodes that
+	// declare themselves dormant are skipped instead of scanned every slot,
+	// so a slot costs O(awake + deliveries) instead of Θ(n). Results are
+	// byte-identical at any setting; runs with Trace, Check or
+	// CollectMetrics attached, and dynamic or jammed networks, silently
+	// step densely.
+	Sparse bool
 }
 
 // BroadcastResult reports a Broadcast run.
@@ -383,6 +390,7 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		UntilAllInformed: opts.RunToCompletion,
 		Check:            opts.Check,
 		Shards:           opts.Shards,
+		Sparse:           opts.Sparse,
 	}
 	var collector *metrics.Collector
 	if opts.CollectMetrics {
@@ -509,6 +517,13 @@ type AggregateOptions struct {
 	// goroutines, speeding up very large networks on multi-core machines.
 	// Results are byte-identical at any value; 0 or 1 means serial.
 	Shards int
+	// Sparse runs the engine in event-driven stepping mode: COGCOMP's
+	// census window and phase-four holding patterns leave almost every
+	// node dormant, and the sparse engine skips them instead of scanning
+	// all n each slot. Results are byte-identical at any setting; runs
+	// with Trace or Check attached, and recovered runs (Recover), silently
+	// step densely.
+	Sparse bool
 }
 
 // FaultSpec declares one timed fault-injection element of a recovered run.
@@ -651,6 +666,7 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 		Func:     f,
 		Check:    opts.Check,
 		Shards:   opts.Shards,
+		Sparse:   opts.Sparse,
 	}
 	if sink != nil {
 		cfg.Trace = sink
@@ -805,6 +821,7 @@ func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*Se
 		Kappa:  opts.Kappa,
 		Func:   f,
 		Shards: opts.Shards,
+		Sparse: opts.Sparse,
 	})
 	if err != nil {
 		return nil, err

@@ -71,9 +71,10 @@ type Static struct {
 }
 
 var (
-	_ sim.Assignment           = (*Static)(nil)
-	_ sim.ConcurrentAssignment = (*Static)(nil)
-	_ sim.ChannelBounder       = (*Static)(nil)
+	_ sim.Assignment              = (*Static)(nil)
+	_ sim.ConcurrentAssignment    = (*Static)(nil)
+	_ sim.SlotInvariantAssignment = (*Static)(nil)
+	_ sim.ChannelBounder          = (*Static)(nil)
 )
 
 // Nodes returns n.
@@ -95,6 +96,11 @@ func (s *Static) ChannelSet(node sim.NodeID, _ int) []int { return s.sets[node] 
 // a built Static is immutable, so the engine may shard its per-slot scan
 // over it.
 func (s *Static) ConcurrentChannelSet() bool { return true }
+
+// SlotInvariantChannelSet reports that ChannelSet ignores its slot argument:
+// a built Static never remaps a node, so the sparse engine may cache the
+// physical channel a parked listener tuned to.
+func (s *Static) SlotInvariantChannelSet() bool { return true }
 
 // MaxPhysChannel returns the largest physical channel index any node holds,
 // or -1 for an assignment with no memberships. Builders compute it at build

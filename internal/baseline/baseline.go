@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"github.com/cogradio/crn/internal/rng"
 	"github.com/cogradio/crn/internal/sim"
@@ -227,6 +228,7 @@ func RendezvousAggregation(asn sim.Assignment, source sim.NodeID, inputs []int64
 type hopNode struct {
 	total    int
 	localOf  map[int]int // physical channel -> local index
+	owned    []int       // sorted scan positions (physical channels) in the set
 	informed bool
 	body     sim.Message
 	// wire is the boxed payload an informed node rebroadcasts; built once by
@@ -237,14 +239,33 @@ type hopNode struct {
 var _ sim.Protocol = (*hopNode)(nil)
 
 func (n *hopNode) Step(slot int) sim.Action {
-	local, ok := n.localOf[slot%n.total]
+	if len(n.owned) == 0 {
+		return sim.Sleep(sim.Forever)
+	}
+	pos := slot % n.total
+	local, ok := n.localOf[pos]
 	if !ok {
-		return sim.Idle()
+		// Off the air until the scan next reaches an owned channel. The gap
+		// is pure arithmetic — no state, no randomness — so it carries a
+		// dormancy hint (idle nodes receive nothing, making the promise
+		// trivially safe even mid-run).
+		return sim.Sleep(n.gapAfter(pos) - 1)
 	}
 	if n.informed {
 		return sim.Broadcast(local, n.wire)
 	}
 	return sim.Listen(local)
+}
+
+// gapAfter returns the number of slots from scan position pos (exclusive)
+// to the node's next owned position (inclusive), in [1, total].
+func (n *hopNode) gapAfter(pos int) int {
+	for _, p := range n.owned {
+		if p > pos {
+			return p - pos
+		}
+	}
+	return n.owned[0] + n.total - pos
 }
 
 func (n *hopNode) Deliver(_ int, ev sim.Event) {
@@ -262,7 +283,9 @@ func (n *hopNode) Done() bool { return false }
 
 // HoppingTogether runs the global-label sequential-scan broadcast until all
 // nodes are informed or maxSlots elapse. The assignment must be static.
-func HoppingTogether(asn sim.Assignment, source sim.NodeID, body sim.Message, seed int64, maxSlots int) (*BroadcastResult, error) {
+// Nodes emit dormancy hints across their off-spectrum gaps, so running with
+// sim.WithSparse() steps only the nodes that own the channel being scanned.
+func HoppingTogether(asn sim.Assignment, source sim.NodeID, body sim.Message, seed int64, maxSlots int, opts ...sim.Option) (*BroadcastResult, error) {
 	n := asn.Nodes()
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("baseline: source %d outside [0,%d)", source, n)
@@ -272,19 +295,23 @@ func HoppingTogether(asn sim.Assignment, source sim.NodeID, body sim.Message, se
 	for i := range nodes {
 		set := asn.ChannelSet(sim.NodeID(i), 0)
 		localOf := make(map[int]int, len(set))
+		owned := make([]int, 0, len(set))
 		for local, phys := range set {
 			localOf[phys] = local
+			owned = append(owned, phys)
 		}
+		slices.Sort(owned)
 		nodes[i] = &hopNode{
 			total:    asn.Channels(),
 			localOf:  localOf,
+			owned:    owned,
 			informed: sim.NodeID(i) == source,
 			body:     body,
 			wire:     payload{Body: body},
 		}
 		protos[i] = nodes[i]
 	}
-	eng, err := sim.NewEngine(asn, protos, seed)
+	eng, err := sim.NewEngine(asn, protos, seed, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -57,6 +57,12 @@ type RunConfig struct {
 	// goroutines (sim.WithShards). Results are byte-identical at any value;
 	// 0 or 1 means serial.
 	Shards int
+	// Sparse enables event-driven stepping (sim.WithSparse). COGCAST nodes
+	// draw a channel every slot, so they never declare dormancy; what the
+	// sparse engine still buys here is exact done-node retirement and an
+	// O(1) AllDone. The big wins belong to protocols with quiescent phases
+	// (COGCOMP's census, the hopping baseline). Byte-identical either way.
+	Sparse bool
 }
 
 // Arena holds the reusable pieces of a COGCAST execution — nodes, their
@@ -133,6 +139,9 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, 
 	a.opts = append(a.opts[:0], sim.WithCollisionModel(cfg.Collisions))
 	if cfg.Shards > 1 {
 		a.opts = append(a.opts, sim.WithShards(cfg.Shards))
+	}
+	if cfg.Sparse {
+		a.opts = append(a.opts, sim.WithSparse())
 	}
 	obs := cfg.Observer
 	if cfg.Trace != nil {

@@ -81,9 +81,13 @@ type Node struct {
 	ch0      int // local channel index of the informed channel
 	parent   sim.NodeID
 
-	// Phase two state.
+	// Phase two state. rosterSeen is a NodeID-indexed bitmap mirroring
+	// roster membership: the census delivers Θ(m²) entries per channel
+	// (m = channel members), so the duplicate check must not scan the
+	// roster per delivery.
 	censusDone bool
 	roster     []rosterEntry
+	rosterSeen []uint64
 
 	// Derived at the start of phase three.
 	p3init      bool
@@ -114,6 +118,11 @@ type Node struct {
 
 	maxMsgSize int
 	done       bool
+
+	// dormant enables dormancy hints on the node's idle and holding-pattern
+	// actions (see SetDormant). Off by default: hints cost a few branches
+	// and only a sparse engine consumes them.
+	dormant bool
 
 	// Multi-round session state (see session.go). roundSteps == 0 means the
 	// classic single-round protocol.
@@ -159,6 +168,7 @@ func (nd *Node) Reinit(view sim.NodeView, source bool, n, phase1Len int, input i
 		f:           f,
 		input:       input,
 		cast:        cast,
+		dormant:     nd.dormant,
 		p2start:     phase1Len,
 		p3start:     phase1Len + n,
 		p3base:      phase1Len + n,
@@ -168,6 +178,7 @@ func (nd *Node) Reinit(view sim.NodeView, source bool, n, phase1Len int, input i
 		pendingAck:  sim.None,
 		announced:   -1,
 		roster:      nd.roster[:0],
+		rosterSeen:  nd.rosterSeen[:0],
 		medClusters: nd.medClusters[:0],
 		collected:   nd.collected[:0],
 		mergedFrom:  nd.mergedFrom[:0],
@@ -195,7 +206,7 @@ func (nd *Node) Step(slot int) sim.Action {
 		return nd.cast.Step(slot)
 	case slot < nd.p3start:
 		nd.initPhase2()
-		return nd.stepPhase2()
+		return nd.stepPhase2(slot)
 	case slot < nd.p4start:
 		nd.initPhase3()
 		return nd.stepPhase3(slot)
@@ -222,6 +233,15 @@ func (nd *Node) Deliver(slot int, ev sim.Event) {
 // Done implements sim.Protocol.
 func (nd *Node) Done() bool { return nd.done }
 
+// SetDormant enables (or disables) dormancy hints on the node's idle and
+// holding-pattern actions, for consumption by a sparse engine
+// (sim.WithSparse). Hints never change the node's visible behavior — a
+// dense engine ignores them — and every hint honors the Action.Sleep
+// contract: the skipped Steps would have returned the same op, channel and
+// message, mutated no state and drawn no randomness. The setting survives
+// Reinit.
+func (nd *Node) SetDormant(on bool) { nd.dormant = on }
+
 // --- Phase 2: census -------------------------------------------------------
 
 func (nd *Node) initPhase2() {
@@ -240,28 +260,57 @@ func (nd *Node) initPhase2() {
 	}
 }
 
-func (nd *Node) stepPhase2() sim.Action {
+func (nd *Node) stepPhase2(slot int) sim.Action {
 	if nd.source || !nd.informed {
-		// The source belongs to no cluster and needs no census.
+		// The source belongs to no cluster and needs no census. Idling
+		// through the rest of the window is pure, so it carries a hint up
+		// to (not across) the phase boundary — the waking Step runs
+		// initPhase3.
+		if k := nd.p3start - 1 - slot; nd.dormant && k > 0 {
+			return sim.Sleep(k)
+		}
 		return sim.Idle()
 	}
 	if !nd.censusDone {
 		return sim.Broadcast(nd.ch0, censusMsg{ID: nd.id, R: nd.r0})
 	}
+	// Census done: pure listening until the rewind. The park is quiet —
+	// every census broadcast on the channel is still delivered (the roster
+	// keeps filling) but none of it changes this node's behavior before
+	// phase three, so the engine need not re-step it per delivery. Without
+	// the quiet flag the drain would re-wake the channel's whole audience
+	// every slot, making sparse census Θ(n·m) in steps instead of Θ(m²)
+	// in deliveries.
+	if k := nd.p3start - 1 - slot; nd.dormant && k > 0 {
+		return sim.ParkListenQuiet(nd.ch0, k)
+	}
 	return sim.Listen(nd.ch0)
 }
 
 // inRoster reports whether the node already holds a census entry for id.
-// Classically every id succeeds exactly once, so the scan never finds a
+// Classically every id succeeds exactly once, so the lookup never finds a
 // duplicate; under recovery a re-run census replays entries the node may
 // already hold.
 func (nd *Node) inRoster(id sim.NodeID) bool {
-	for _, e := range nd.roster {
-		if e.id == id {
-			return true
+	w := int(id) >> 6
+	return w < len(nd.rosterSeen) && nd.rosterSeen[w]&(1<<(uint(id)&63)) != 0
+}
+
+// addRoster appends a census entry and marks its id in the membership
+// bitmap. The bitmap is sized lazily on first use per trial, reusing the
+// backing kept by Reinit.
+func (nd *Node) addRoster(id sim.NodeID, r int) {
+	if len(nd.rosterSeen) == 0 {
+		words := (nd.n + 63) >> 6
+		if cap(nd.rosterSeen) < words {
+			nd.rosterSeen = make([]uint64, words)
+		} else {
+			nd.rosterSeen = nd.rosterSeen[:words]
+			clear(nd.rosterSeen)
 		}
 	}
-	return false
+	nd.roster = append(nd.roster, rosterEntry{id: id, r: r})
+	nd.rosterSeen[int(id)>>6] |= 1 << (uint(id) & 63)
 }
 
 func (nd *Node) deliverPhase2(ev sim.Event) {
@@ -269,11 +318,11 @@ func (nd *Node) deliverPhase2(ev sim.Event) {
 	case sim.EvSendSucceeded:
 		nd.censusDone = true
 		if !nd.inRoster(nd.id) {
-			nd.roster = append(nd.roster, rosterEntry{id: nd.id, r: nd.r0})
+			nd.addRoster(nd.id, nd.r0)
 		}
 	case sim.EvSendFailed, sim.EvReceived:
 		if m, ok := ev.Msg.(censusMsg); ok && !nd.inRoster(m.ID) {
-			nd.roster = append(nd.roster, rosterEntry{id: m.ID, r: m.R})
+			nd.addRoster(m.ID, m.R)
 		}
 	}
 }
@@ -339,7 +388,7 @@ func (nd *Node) stepPhase3(slot int) sim.Action {
 	j := nd.rewoundSlot(slot)
 	recs := nd.cast.Records()
 	if j < 0 || j >= len(recs) {
-		return sim.Idle()
+		return nd.idleRewind(slot, j)
 	}
 	rec := recs[j]
 	switch {
@@ -352,8 +401,38 @@ func (nd *Node) stepPhase3(slot int) sim.Action {
 	default:
 		// Every other node retunes to the rewound channel but has no role;
 		// staying off the air is observably identical and cheaper.
-		return sim.Idle()
+		return nd.idleRewind(slot, j)
 	}
+}
+
+// idleRewind is a roleless phase-three slot: pure idling, so it carries a
+// dormancy hint spanning the gap to the node's next acting rewound record.
+func (nd *Node) idleRewind(slot, j int) sim.Action {
+	if nd.dormant {
+		if k := nd.rewindGap(slot, j); k > 0 {
+			return sim.Sleep(k)
+		}
+	}
+	return sim.Idle()
+}
+
+// rewindGap returns how many upcoming phase-three slots (after slot, whose
+// rewound index is j) are roleless for this node: the rewind plays the log
+// backwards, so the next acting slot replays the nearest earlier record in
+// which the node successfully broadcast or was first informed. With no
+// acting record left the gap runs to phase four — the waking Step then runs
+// initPhase4, so the hint must not cross that boundary.
+func (nd *Node) rewindGap(slot, j int) int {
+	recs := nd.cast.Records()
+	wake := nd.p4start
+	for jj := min(j, len(recs)) - 1; jj >= 0; jj-- {
+		rec := recs[jj]
+		if (rec.Op == sim.OpBroadcast && rec.SendSucceeded) || (rec.Op == sim.OpListen && rec.FirstInformed) {
+			wake = nd.p3base + (nd.p2start - 1 - jj)
+			break
+		}
+	}
+	return wake - slot - 1
 }
 
 func (nd *Node) deliverPhase3(slot int, ev sim.Event) {
@@ -499,6 +578,11 @@ func (nd *Node) stepPhase4(slot int) sim.Action {
 		}
 		nd.stepInRound = step % nd.roundSteps
 		if nd.roundFinished {
+			// Idle until the next round boundary, whose Step runs
+			// resetRound — the hint must wake the node exactly there.
+			if k := nd.roundBoundary() - slot - 1; nd.dormant && k > 0 {
+				return sim.Sleep(k)
+			}
 			return sim.Idle()
 		}
 	}
@@ -517,12 +601,12 @@ func (nd *Node) stepPhase4(slot int) sim.Action {
 			return sim.Broadcast(nd.ch0, announceMsg{R: r})
 		}
 		if receiver {
-			return sim.Listen(nd.collected[nd.idx].ch)
+			return nd.wait(slot, nd.collected[nd.idx].ch)
 		}
-		return sim.Listen(nd.ch0) // sender awaiting its cluster's announcement
+		return nd.wait(slot, nd.ch0) // sender awaiting its cluster's announcement
 	case 1:
 		if receiver {
-			return sim.Listen(nd.collected[nd.idx].ch)
+			return nd.wait(slot, nd.collected[nd.idx].ch)
 		}
 		if !nd.ownSent && nd.announced == nd.r0 {
 			msg := valueMsg{R: nd.r0, Sender: nd.id, Agg: nd.acc}
@@ -531,7 +615,7 @@ func (nd *Node) stepPhase4(slot int) sim.Action {
 			}
 			return sim.Broadcast(nd.ch0, msg)
 		}
-		return sim.Listen(nd.ch0)
+		return nd.wait(slot, nd.ch0)
 	default:
 		// A pending ack may also belong to a past cluster (duplicate
 		// resend under faults); it always names its own channel.
@@ -541,10 +625,36 @@ func (nd *Node) stepPhase4(slot int) sim.Action {
 			return sim.Broadcast(nd.pendingAckCh, ackMsg{ID: nd.pendingAck})
 		}
 		if receiver {
-			return sim.Listen(nd.collected[nd.idx].ch)
+			return nd.wait(slot, nd.collected[nd.idx].ch)
 		}
-		return sim.Listen(nd.ch0)
+		return nd.wait(slot, nd.ch0)
 	}
+}
+
+// roundBoundary returns the first slot of the next session round.
+func (nd *Node) roundBoundary() int {
+	return nd.p4start + 3*nd.roundSteps*(nd.round+1)
+}
+
+// wait returns the Listen action for a phase-four holding pattern, carrying
+// a dormancy hint when the wait is provably inert: every state change that
+// could alter the node's next action arrives as a delivery on the very
+// channel it is parked on (announcements, values, acks — all of which
+// re-wake it), the skipped startStep resets are no-ops or unread until the
+// first post-wake step re-runs them, and the promise stops at the next
+// round boundary, whose resetRound is a real state change. Mediators drive
+// the phase-four schedule and always run dense, and a pending ack breaks
+// the pattern on the next sub-slot, so neither parks.
+func (nd *Node) wait(slot, ch int) sim.Action {
+	if nd.dormant && !nd.isMediator && nd.pendingAck == sim.None {
+		if nd.roundSteps == 0 {
+			return sim.ParkListen(ch, sim.Forever)
+		}
+		if k := nd.roundBoundary() - slot - 1; k > 0 {
+			return sim.ParkListen(ch, k)
+		}
+	}
+	return sim.Listen(ch)
 }
 
 func (nd *Node) deliverPhase4(slot int, ev sim.Event) {
@@ -756,6 +866,9 @@ func (nd *Node) DropRosterEntry(id sim.NodeID) {
 		}
 	}
 	nd.roster = out
+	if w := int(id) >> 6; w < len(nd.rosterSeen) {
+		nd.rosterSeen[w] &^= 1 << (uint(id) & 63)
+	}
 }
 
 // DropCollected removes the cluster informed at phase-one slot r from the

@@ -42,6 +42,13 @@ type Config struct {
 	// goroutines (sim.WithShards). Results are byte-identical at any value;
 	// 0 or 1 means serial.
 	Shards int
+	// Sparse enables event-driven stepping (sim.WithSparse): nodes emit
+	// dormancy hints and the engine scans only awake nodes, which collapses
+	// the census window's Θ(n²) node-steps to O(events). Executions are
+	// byte-identical to dense runs; the engine silently runs dense when an
+	// observer is attached (Trace/Check) or the assignment is not
+	// slot-invariant.
+	Sparse bool
 }
 
 // DefaultMaxSlots is the slot budget Run uses when Config.MaxSlots is
@@ -161,6 +168,9 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 	if cfg.Shards > 1 {
 		a.engOpts = append(a.engOpts, sim.WithShards(cfg.Shards))
 	}
+	if cfg.Sparse {
+		a.engOpts = append(a.engOpts, sim.WithSparse())
+	}
 	var obs sim.Observer
 	if cfg.Trace != nil {
 		obs = trace.NewRecorder(cfg.Trace)
@@ -180,6 +190,14 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 	}
 	if err := a.build(asn, source, n, l, func(i int) int64 { return inputs[i] }, f, seed, a.engOpts, wrap); err != nil {
 		return nil, nil, 0, err
+	}
+	// Emit dormancy hints only when the engine actually engaged sparse
+	// stepping (the request may have been gated off by an observer or a
+	// non-slot-invariant assignment); hints are inert under a dense engine
+	// but cost a few branches per Step.
+	dormant := a.eng.Sparse()
+	for _, nd := range a.nodes {
+		nd.SetDormant(dormant)
 	}
 	return a.nodes, a.eng, l, nil
 }

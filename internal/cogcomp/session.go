@@ -35,6 +35,11 @@ type SessionConfig struct {
 	// goroutines (sim.WithShards). Results are byte-identical at any value;
 	// 0 or 1 means serial.
 	Shards int
+	// Sparse enables event-driven stepping (sim.WithSparse); see
+	// Config.Sparse. Round-finished nodes sleep to the next round boundary
+	// and phase-four holding patterns park, so a session's cost tracks its
+	// traffic rather than n·slots.
+	Sparse bool
 }
 
 // SessionResult reports a multi-round aggregation.
@@ -99,6 +104,9 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 	if cfg.Shards > 1 {
 		a.engOpts = append(a.engOpts, sim.WithShards(cfg.Shards))
 	}
+	if cfg.Sparse {
+		a.engOpts = append(a.engOpts, sim.WithSparse())
+	}
 	if a.forceCheck {
 		if err := invariant.CheckAssignment(asn, 0); err != nil {
 			return nil, fmt.Errorf("cogcomp: %w", err)
@@ -113,7 +121,9 @@ func (a *Arena) RunRounds(asn sim.Assignment, source sim.NodeID, rounds [][]int6
 		return nil, err
 	}
 	nodes := a.nodes
+	dormant := a.eng.Sparse()
 	for i, nd := range nodes {
+		nd.SetDormant(dormant)
 		for r := range rounds {
 			nd.rounds = append(nd.rounds, rounds[r][i])
 		}

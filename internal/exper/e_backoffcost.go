@@ -46,7 +46,7 @@ func runE24(cfg Config) ([]*Table, error) {
 			}
 			obs := backoff.NewCostObserver(n, ts)
 			res, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{
-				UntilAllInformed: true, MaxSlots: 200000, Observer: obs, Shards: cfg.Shards,
+				UntilAllInformed: true, MaxSlots: 200000, Observer: obs, Shards: cfg.Shards, Sparse: cfg.Sparse,
 			})
 			if err != nil {
 				return costResult{}, err

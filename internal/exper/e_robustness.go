@@ -195,7 +195,7 @@ func runE21(cfg Config) ([]*Table, error) {
 		}
 		var cm metrics.Collector
 		cres, err := a.cast.Run(asn, 0, "m", ts, cogcast.RunConfig{
-			UntilAllInformed: true, MaxSlots: 1_000_000, Observer: &cm, Shards: cfg.Shards,
+			UntilAllInformed: true, MaxSlots: 1_000_000, Observer: &cm, Shards: cfg.Shards, Sparse: cfg.Sparse,
 		})
 		if err != nil {
 			return utilResult{}, err
@@ -292,7 +292,7 @@ func runE22(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return out, err
 			}
-			res, err := a.cast.Run(model, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 500000, Shards: cfg.Shards})
+			res, err := a.cast.Run(model, 0, "m", ts, cogcast.RunConfig{UntilAllInformed: true, MaxSlots: 500000, Shards: cfg.Shards, Sparse: cfg.Sparse})
 			if err != nil {
 				return out, err
 			}

@@ -67,6 +67,14 @@ type Config struct {
 	// node order and the engine's tie-break draws stay serial. 0 or 1 means
 	// serial.
 	Shards int
+	// Sparse runs every trial's engine in event-driven stepping mode
+	// (sim.WithSparse): dormant nodes are skipped instead of scanned, which
+	// collapses COGCOMP's census window from Θ(n²) node-steps to O(events).
+	// Tables and traces are byte-identical either way — the engine falls
+	// back to dense whenever an observer is attached (Trace/Check) — so the
+	// flag only moves wall-clock. The recovery supervisor (Recover) always
+	// runs dense: its fault wrappers void dormancy promises.
+	Sparse bool
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -116,6 +124,7 @@ func (a *arena) compRun(cfg Config, asn sim.Assignment, source sim.NodeID, input
 	if ccfg.Shards == 0 {
 		ccfg.Shards = cfg.Shards
 	}
+	ccfg.Sparse = ccfg.Sparse || cfg.Sparse
 	if !cfg.Recover {
 		return a.comp.Run(asn, source, inputs, seed, ccfg)
 	}

@@ -260,7 +260,13 @@ func (c *Crasher) Step(slot int) sim.Action {
 		}
 		return sim.Idle()
 	}
-	return c.inner.Step(slot)
+	act := c.inner.Step(slot)
+	// Strip any dormancy hint: the inner protocol cannot promise "no state
+	// change for k slots" across a fault boundary it knows nothing about —
+	// a crash mid-promise must be observed at the scheduled slot, so a
+	// fault-wrapped node is stepped densely.
+	act.Sleep = 0
+	return act
 }
 
 // Deliver implements sim.Protocol. Down nodes cannot receive, but the

@@ -1,0 +1,165 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// WakeChecker is a sim.WakeAuditor that cross-checks the sparse engine's
+// wake-queue from outside: it rebuilds the dormancy schedule from the very
+// hints and deliveries the engine reports and verifies, slot by slot, that
+//
+//   - no dormant node acts: a node that promised Sleep=k is not stepped
+//     again before the promise expires unless a delivery woke it,
+//   - no awake node is skipped: a node whose promise expires (or that never
+//     made one) is stepped at exactly the slot the dense engine would have
+//     stepped it,
+//   - every delivery wakes: a delivered node is stepped in the next slot —
+//     unless its promise was quiet (sim.ParkListenQuiet), in which case
+//     deliveries leave the schedule untouched and the promise runs to its
+//     expiry,
+//   - retirement is final: a node whose Done was observed is never stepped
+//     or delivered to again (save deliveries in its retirement slot, where
+//     its final action still resolves, matching the dense engine).
+//
+// Like Checker it deliberately shares no state with the engine's wake heap
+// or parked lists — the schedule is re-derived from the audit stream alone,
+// so bookkeeping bugs in either structure surface as violations. EndSlot is
+// O(n), which is fine for the test workloads the auditor exists for.
+type WakeChecker struct {
+	n int
+
+	retired   []bool
+	retireDay []int  // slot the node retired in (valid when retired)
+	expect    []int  // slot the node must next be stepped at; never = delivery-only
+	stepped   []int  // last slot the node was stepped, -1 initially
+	quiet     []bool // current promise is delivery-proof (Action.Quiet)
+
+	violations int
+	firstErr   error
+}
+
+var _ sim.WakeAuditor = (*WakeChecker)(nil)
+
+// never marks a node woken only by deliveries (Sleep >= sim.Forever).
+const never = math.MaxInt
+
+// Reset prepares the checker for one run over n nodes: every node is
+// expected awake at slot 0.
+func (w *WakeChecker) Reset(n int) {
+	w.n = n
+	if cap(w.retired) < n {
+		w.retired = make([]bool, n)
+		w.retireDay = make([]int, n)
+		w.expect = make([]int, n)
+		w.stepped = make([]int, n)
+		w.quiet = make([]bool, n)
+	}
+	w.retired = w.retired[:n]
+	w.retireDay = w.retireDay[:n]
+	w.expect = w.expect[:n]
+	w.stepped = w.stepped[:n]
+	w.quiet = w.quiet[:n]
+	for i := 0; i < n; i++ {
+		w.retired[i] = false
+		w.expect[i] = 0
+		w.stepped[i] = -1
+		w.quiet[i] = false
+	}
+	w.violations = 0
+	w.firstErr = nil
+}
+
+// OnStep implements sim.WakeAuditor: the stepped node must be exactly due.
+func (w *WakeChecker) OnStep(slot int, node sim.NodeID, act sim.Action) {
+	if node < 0 || int(node) >= w.n {
+		w.failf("slot %d: stepped node %d outside [0,%d)", slot, node, w.n)
+		return
+	}
+	v := int(node)
+	if w.retired[v] {
+		w.failf("slot %d: retired node %d stepped again", slot, node)
+	}
+	switch exp := w.expect[v]; {
+	case slot < exp:
+		w.failf("slot %d: dormant node %d stepped (promised asleep until slot %d)", slot, node, exp)
+	case slot > exp:
+		w.failf("slot %d: node %d stepped late (was due at slot %d)", slot, node, exp)
+	}
+	w.stepped[v] = slot
+	w.quiet[v] = act.Op == sim.OpListen && act.Sleep > 0 && act.Quiet
+	switch {
+	case act.Op == sim.OpBroadcast || act.Sleep <= 0:
+		w.expect[v] = slot + 1
+	case act.Sleep >= sim.Forever:
+		w.expect[v] = never
+	default:
+		w.expect[v] = slot + act.Sleep + 1
+	}
+}
+
+// OnDeliver implements sim.WakeAuditor: a delivery must re-wake its target
+// for the next slot — unless the target's current promise is quiet, which
+// the delivery leaves untouched — and only a node's retirement slot may
+// still deliver to it (its final action resolves that slot, exactly as the
+// dense engine resolves it).
+func (w *WakeChecker) OnDeliver(slot int, node sim.NodeID) {
+	if node < 0 || int(node) >= w.n {
+		w.failf("slot %d: delivery to node %d outside [0,%d)", slot, node, w.n)
+		return
+	}
+	v := int(node)
+	if w.retired[v] {
+		if w.retireDay[v] != slot {
+			w.failf("slot %d: delivery to node %d retired in slot %d", slot, node, w.retireDay[v])
+		}
+		return
+	}
+	if w.quiet[v] && slot < w.expect[v] {
+		return
+	}
+	w.expect[v] = slot + 1
+}
+
+// OnRetire implements sim.WakeAuditor: retirement happens once.
+func (w *WakeChecker) OnRetire(slot int, node sim.NodeID) {
+	if node < 0 || int(node) >= w.n {
+		w.failf("slot %d: retired node %d outside [0,%d)", slot, node, w.n)
+		return
+	}
+	v := int(node)
+	if w.retired[v] {
+		w.failf("slot %d: node %d retired twice (first in slot %d)", slot, node, w.retireDay[v])
+		return
+	}
+	w.retired[v] = true
+	w.retireDay[v] = slot
+}
+
+// EndSlot implements sim.WakeAuditor: every node that was due this slot
+// must have been stepped. Returns the first violation so the engine aborts
+// the run the moment its wake-queue diverges from the shadow schedule.
+func (w *WakeChecker) EndSlot(slot int) error {
+	for v := 0; v < w.n; v++ {
+		if !w.retired[v] && w.expect[v] == slot && w.stepped[v] != slot {
+			w.failf("slot %d: awake node %d skipped by the sparse scan", slot, v)
+			w.expect[v] = slot + 1
+		}
+	}
+	return w.firstErr
+}
+
+func (w *WakeChecker) failf(format string, args ...any) {
+	w.violations++
+	if w.firstErr == nil {
+		w.firstErr = fmt.Errorf("invariant: wake: "+format, args...)
+	}
+}
+
+// Err returns the first violation recorded since the last Reset, or nil.
+func (w *WakeChecker) Err() error { return w.firstErr }
+
+// WakeViolations returns the number of violations since the last Reset.
+func (w *WakeChecker) WakeViolations() int { return w.violations }

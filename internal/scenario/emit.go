@@ -60,6 +60,7 @@ func (sc *Scenario) Emit() []byte {
 	e := sc.Engine
 	w("engine:\n")
 	w("  shards: %d\n", e.Shards)
+	w("  sparse: %v\n", e.Sparse)
 	w("  parallel: %d\n", e.Parallel)
 	w("  repeat: %d\n", e.Repeat)
 	w("  check: %v\n", e.Check)

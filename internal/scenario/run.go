@@ -121,7 +121,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 		opts := crn.BroadcastOptions{
 			Source: crn.NodeID(sc.Protocol.Source), Payload: sc.Protocol.Payload, Seed: sc.Seed,
 			RunToCompletion: true, MaxSlots: budget, Trajectory: sc.Protocol.Curve,
-			Check: sc.Engine.Check, Shards: sc.Engine.Shards,
+			Check: sc.Engine.Check, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -153,7 +153,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 			Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: sc.Seed,
 			MaxSlots: sc.Protocol.MaxSlots,
 			Check:    sc.Engine.Check, Recover: sc.Recovery.Enabled, OutageRate: sc.Recovery.OutageRate,
-			Shards: sc.Engine.Shards,
+			Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 		}
 		if sc.Recovery.Enabled {
 			opts.OutageDuration = sc.Recovery.OutageDuration
@@ -195,7 +195,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 		}
 		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
 			Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: sc.Seed,
-			Check: sc.Engine.Check, Shards: sc.Engine.Shards,
+			Check: sc.Engine.Check, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 		})
 		if err != nil {
 			return nil, err
@@ -261,7 +261,7 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 			res, err := net.Broadcast(crn.BroadcastOptions{
 				Source: crn.NodeID(sc.Protocol.Source), Payload: sc.Protocol.Payload, Seed: trialSeed,
 				RunToCompletion: true, MaxSlots: budget, Check: sc.Engine.Check,
-				Shards: sc.Engine.Shards,
+				Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 			})
 			if err != nil {
 				return 0, err
@@ -281,7 +281,7 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 				Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: trialSeed,
 				MaxSlots: sc.Protocol.MaxSlots,
 				Check:    sc.Engine.Check, Recover: sc.Recovery.Enabled, OutageRate: sc.Recovery.OutageRate,
-				Shards: sc.Engine.Shards,
+				Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 			}
 			if sc.Recovery.Enabled {
 				opts.OutageDuration = sc.Recovery.OutageDuration
@@ -334,7 +334,7 @@ func (sc *Scenario) executeExperiment(out io.Writer) (*Outcome, error) {
 	cfg := exper.Config{
 		Seed: sc.Seed, Trials: sc.Experiment.Trials, Quick: sc.Experiment.Quick,
 		Parallel: sc.Engine.Parallel, Check: sc.Engine.Check,
-		Recover: sc.Recovery.Enabled, Shards: sc.Engine.Shards,
+		Recover: sc.Recovery.Enabled, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
 	}
 	tables, err := e.Run(cfg)
 	if err != nil {

@@ -103,6 +103,11 @@ type Engine struct {
 	// Shards splits each slot's protocol scan across goroutines
 	// (default 1 = serial).
 	Shards int
+	// Sparse enables event-driven stepping: dormant nodes are skipped
+	// instead of scanned every slot (sim.WithSparse). Results are
+	// byte-identical either way; checked/traced and dynamic/jammed runs
+	// silently step densely.
+	Sparse bool
 	// Parallel bounds workers for repeated runs (0 = GOMAXPROCS).
 	Parallel int
 	// Repeat runs that many independent seeded repetitions (default 1).

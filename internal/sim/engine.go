@@ -86,6 +86,14 @@ type Engine struct {
 	shardFns  []func()
 	shardWG   sync.WaitGroup
 	scanSlot  int
+
+	// Event-driven stepping (WithSparse). sparseReq is the requested mode;
+	// sp holds the wake-queue state and is live only while sp.on (see
+	// sparse.go for the gating rules). audit, when set, receives the sparse
+	// scheduler's decisions for external cross-checking.
+	sparseReq bool
+	audit     WakeAuditor
+	sp        sparseState
 }
 
 // shardScan is the per-shard scratch of the sharded phase-A scan: the node
@@ -231,6 +239,8 @@ func (e *Engine) Reset(asn Assignment, nodes []Protocol, seed int64, opts ...Opt
 	e.slot = 0
 	e.obs = nil
 	e.shards = 1
+	e.sparseReq = false
+	e.audit = nil
 	if cap(e.acts) < len(nodes) {
 		e.acts = make([]Action, len(nodes))
 	}
@@ -252,6 +262,7 @@ func (e *Engine) Reset(asn Assignment, nodes []Protocol, seed int64, opts ...Opt
 		opt(e)
 	}
 	e.configureShards()
+	e.configureSparse()
 	nodesSimulated.Add(int64(len(nodes)))
 	return nil
 }
@@ -322,6 +333,11 @@ func (e *Engine) Collisions() CollisionModel { return e.collisions }
 
 // AllDone reports whether every protocol has terminated.
 func (e *Engine) AllDone() bool {
+	if e.sp.on {
+		// The sparse scan observes every Done transition as it happens
+		// (step, delivery, or initial state), so the count is exact.
+		return e.sp.notDone == 0
+	}
 	for _, p := range e.nodes {
 		if !p.Done() {
 			return false
@@ -339,6 +355,10 @@ func (e *Engine) RunSlot() error {
 	slotsExecuted.Add(1)
 
 	e.touchReset()
+
+	if e.sp.on {
+		return e.runSlotSparse(slot)
+	}
 
 	// Phase A: collect actions and bucket nodes by physical channel. The
 	// sharded scan fills the same buckets in the same node order as the
@@ -609,6 +629,9 @@ func (e *Engine) growScratch(n int) {
 		e.bcast = append(e.bcast, make([][]NodeID, short)...)
 		e.listen = append(e.listen, make([][]NodeID, short)...)
 		e.touched = append(e.touched, make([]bool, short)...)
+	}
+	if e.sp.on {
+		e.growParked(len(e.bcast))
 	}
 }
 

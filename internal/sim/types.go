@@ -55,17 +55,62 @@ type Message any
 // index in [0, c): the engine translates it to a physical channel through
 // the node's assignment, so protocols can be written against local labels
 // only, exactly as the model prescribes.
+//
+// Sleep is an optional dormancy hint (see Forever). A non-zero Sleep on an
+// OpIdle or OpListen action promises: "absent any delivery to this node, my
+// next Sleep calls to Step would return exactly this action, mutate no
+// state, and draw no randomness." A sparse engine (WithSparse) uses the
+// hint to skip those Step calls — parking listeners on their channel so
+// deliveries still reach them and re-wake them eagerly — while the dense
+// engine ignores it entirely, which is what keeps sparse and dense
+// executions byte-identical. Hints on OpBroadcast actions are ignored (a
+// broadcaster always gets feedback, so it can never be dormant).
 type Action struct {
 	Op      Op
 	Channel int
 	Msg     Message
+	Sleep   int
+	// Quiet strengthens a listen hint (see ParkListenQuiet): deliveries are
+	// still handed to the node but do not re-wake it. Meaningless without a
+	// positive Sleep on an OpListen action; the dense engine ignores it.
+	Quiet bool
 }
+
+// Forever is the Sleep value for an open-ended dormancy hint: the node
+// promises to repeat its action until a delivery wakes it. An OpIdle action
+// with Sleep >= Forever is only re-stepped if the slot budget ends first (a
+// parked listener is re-woken by any broadcast on its channel).
+const Forever = 1 << 30
 
 // Idle returns the action of a node that has terminated or sleeps this slot.
 func Idle() Action { return Action{Op: OpIdle} }
 
+// Sleep returns an Idle action carrying a dormancy hint: the node promises
+// that, absent deliveries, its next k Steps would also return Idle with no
+// state change and no RNG draws.
+func Sleep(k int) Action { return Action{Op: OpIdle, Sleep: k} }
+
 // Listen returns the action of listening on local channel ch.
 func Listen(ch int) Action { return Action{Op: OpListen, Channel: ch} }
+
+// ParkListen returns a Listen action carrying a dormancy hint: the node
+// promises that, absent deliveries, its next k Steps would also return
+// Listen(ch) with no state change and no RNG draws. A sparse engine keeps
+// the node tuned to the channel (any broadcast there is delivered and
+// re-wakes it) without stepping it.
+func ParkListen(ch, k int) Action { return Action{Op: OpListen, Channel: ch, Sleep: k} }
+
+// ParkListenQuiet is ParkListen with a stronger promise: deliveries may
+// mutate the node's state (it still hears every broadcast on the channel)
+// but cannot change the actions its next k Steps would return, so the
+// engine keeps it parked through deliveries instead of re-waking it. This
+// is the hint for drain patterns — a node that collects a long stream of
+// messages while its own behavior stays a fixed listen (COGCOMP's census
+// roster fill) — where eager re-wakes would re-step the whole audience
+// every slot. A delivery that flips the node's Done still retires it.
+func ParkListenQuiet(ch, k int) Action {
+	return Action{Op: OpListen, Channel: ch, Sleep: k, Quiet: true}
+}
 
 // Broadcast returns the action of broadcasting msg on local channel ch.
 func Broadcast(ch int, msg Message) Action {
@@ -159,6 +204,20 @@ type ConcurrentAssignment interface {
 	// ConcurrentChannelSet reports whether ChannelSet may be called
 	// concurrently for distinct nodes without synchronization.
 	ConcurrentChannelSet() bool
+}
+
+// SlotInvariantAssignment is an optional Assignment interface declaring
+// that ChannelSet ignores its slot argument — true for immutable static
+// assignments, false for dynamic re-draws and jamming adapters whose sets
+// change per slot. The sparse engine (WithSparse) parks dormant listeners
+// by the physical channel their local choice mapped to at park time; that
+// cache is only sound when the mapping cannot change underneath them, so
+// sparse stepping engages only over assignments that report true.
+type SlotInvariantAssignment interface {
+	Assignment
+	// SlotInvariantChannelSet reports whether ChannelSet(node, slot) is
+	// independent of slot for every node.
+	SlotInvariantChannelSet() bool
 }
 
 // ChannelBounder is an optional Assignment interface reporting the largest
