@@ -85,6 +85,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzBuilder -fuzztime $(FUZZTIME) ./internal/assign
 	$(GO) test -run NONE -fuzz FuzzEngineSlot -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run NONE -fuzz FuzzRecovery -fuzztime $(FUZZTIME) ./internal/recover
+	$(GO) test -run NONE -fuzz FuzzJammer -fuzztime $(FUZZTIME) ./internal/jamming
 
 # Coverage gate: aggregate statement coverage across all packages must stay
 # above the threshold (see TESTING.md). Writes cover.out for inspection

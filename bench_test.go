@@ -69,6 +69,7 @@ func BenchmarkE26CrashRestartRecovery(b *testing.B)   { benchExperiment(b, "E26"
 func BenchmarkE27RecoveryOverhead(b *testing.B)       { benchExperiment(b, "E27") }
 func BenchmarkE28ScaleSweep(b *testing.B)             { benchExperiment(b, "E28") }
 func BenchmarkE29EventDrivenScale(b *testing.B)       { benchExperiment(b, "E29") }
+func BenchmarkE30AdversaryTournament(b *testing.B)    { benchExperiment(b, "E30") }
 
 // --- Substrate micro-benchmarks ------------------------------------------------
 

@@ -13,6 +13,8 @@
 //	cogsim -protocol cogcomp -n 64 -c 8 -k 2 -C 24 -agg stats
 //	cogsim -protocol hop -n 8 -c 64 -k 63 -topology partitioned -labels global
 //	cogsim -protocol cogcast -jam random -jamk 3 -n 32 -c 16
+//	cogsim -protocol cogcast -adversary busiest -energy 120 -n 32 -c 12
+//	cogsim -protocol cogcomp -recover -adversary crasher -energy 60
 //	cogsim -protocol cogcast -repeat 32 -parallel 8   # seeded repetitions
 //	cogsim -protocol cogcast -trace run.jsonl         # record a JSONL trace
 //	cogsim -trace-summary run.jsonl                   # fold it back into numbers
@@ -60,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		dynamic  = fs.Bool("dynamic", false, "re-draw channel sets every slot")
 		jam      = fs.String("jam", "", "jammer strategy (none, random, sweep, block, split); overrides topology")
 		jamK     = fs.Int("jamk", 0, "channels jammed per node per slot")
+		adv      = fs.String("adversary", "", "reactive adversary strategy: busiest/follower/hunter jam cogcast (forces the jammed topology), hunter/crasher/oblivious crash cogcomp (needs -recover), none = control")
+		advE     = fs.Int("energy", 0, "reactive adversary's total energy reserve (one unit per jammed channel or held-down node per slot; 0 = inert)")
+		advSlot  = fs.Int("energy-slot", 2, "reactive adversary's per-slot action cap; on cogcast it is also the reduction's jam budget")
 		seed     = fs.Int64("seed", 1, "root seed")
 		source   = fs.Int("source", 0, "source node")
 		agg      = fs.String("agg", "sum", "aggregate for cogcomp: sum, count, min, max, stats, collect")
@@ -135,6 +140,22 @@ func run(args []string, out io.Writer) error {
 			Labels:          "local",
 			JamStrategy:     *jam,
 			JamBudget:       *jamK,
+		}
+	}
+	if *adv != "" {
+		if *jam != "" {
+			return fmt.Errorf("-jam and -adversary are mutually exclusive (oblivious vs reactive jammer)")
+		}
+		sc.Adversary = scenario.Adversary{Strategy: *adv, Energy: *advE, PerSlot: *advSlot}
+		if *protocol == "cogcast" {
+			// Reactive jamming rides the Theorem 18 reduction, so the
+			// topology is the jammed one (as -jam would force).
+			sc.Topology = scenario.Topology{
+				Nodes:           *n,
+				ChannelsPerNode: *c,
+				Generator:       "jammed",
+				Labels:          "local",
+			}
 		}
 	}
 	_, err = sc.Execute(out)
@@ -220,7 +241,7 @@ func summarizeTrace(out io.Writer, path string) error {
 		trace.KindSlot, trace.KindChannel, trace.KindProgress, trace.KindInformed,
 		trace.KindPhase, trace.KindCensus, trace.KindFault, trace.KindJam, trace.KindTrial,
 		trace.KindEpoch, trace.KindCheckpoint, trace.KindRetry, trace.KindReelect,
-		trace.KindRestart,
+		trace.KindRestart, trace.KindAdv,
 	} {
 		if count := s.Events[kind]; count > 0 {
 			fmt.Fprintf(out, " %s=%d", kind, count)

@@ -281,3 +281,39 @@ func TestRecoverFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAdversaryRun(t *testing.T) {
+	jam := runOK(t, "-adversary", "busiest", "-energy", "120", "-n", "32", "-c", "12")
+	if !strings.Contains(jam, "all informed: true") || !strings.Contains(jam, "adversary: busiest spent") {
+		t.Errorf("reactive jam output = %q", jam)
+	}
+	crash := runOK(t, "-protocol", "cogcomp", "-recover", "-adversary", "crasher", "-energy", "60", "-n", "32")
+	if !strings.Contains(crash, "adversary: crasher spent") {
+		t.Errorf("reactive crash output = %q", crash)
+	}
+}
+
+func TestAdversaryTraceSummary(t *testing.T) {
+	path := t.TempDir() + "/adv.jsonl"
+	runOK(t, "-adversary", "busiest", "-energy", "120", "-n", "32", "-c", "12", "-trace", path)
+	replay := runOK(t, "-trace-summary", path)
+	if !strings.Contains(replay, " adv=") {
+		t.Errorf("summary has no adv event count: %q", replay)
+	}
+}
+
+func TestAdversaryFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-adversary", "busiest", "-jam", "random"},
+		{"-protocol", "cogcomp", "-adversary", "crasher", "-energy", "10"},
+		{"-protocol", "gossip", "-adversary", "busiest", "-energy", "10"},
+		{"-adversary", "crasher", "-energy", "10"},
+		{"-adversary", "nuke", "-energy", "10"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

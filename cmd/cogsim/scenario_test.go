@@ -72,6 +72,16 @@ func TestScenarioFlagByteIdentity(t *testing.T) {
 			[]string{"-protocol", "cogcomp", "-recover", "-outage", "0.002", "-n", "48"},
 			[][]string{{"-protocol", "cogcomp", "-recover", "-outage", "0.002", "-n", "48", "-shards", "4"}},
 		},
+		{
+			"../../scenarios/jam_reactive_busiest.yaml",
+			[]string{"-adversary", "busiest", "-energy", "120", "-energy-slot", "3", "-n", "32", "-c", "16"},
+			[][]string{{"-adversary", "busiest", "-energy", "120", "-energy-slot", "3", "-n", "32", "-c", "16", "-shards", "4"}},
+		},
+		{
+			"../../scenarios/recover_phase_crasher.yaml",
+			[]string{"-protocol", "cogcomp", "-recover", "-adversary", "crasher", "-energy", "60", "-n", "48"},
+			[][]string{{"-protocol", "cogcomp", "-recover", "-adversary", "crasher", "-energy", "60", "-n", "48", "-shards", "4"}},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(filepath.Base(tc.scenario), func(t *testing.T) {

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/cogradio/crn/internal/adversary"
 	"github.com/cogradio/crn/internal/aggfunc"
 	"github.com/cogradio/crn/internal/assign"
 	"github.com/cogradio/crn/internal/baseline"
@@ -128,6 +129,7 @@ type Spec struct {
 type Network struct {
 	asn     sim.Assignment
 	dynamic bool
+	adv     *adversary.Driver
 }
 
 // NewNetwork builds a network from a Spec.
@@ -225,6 +227,84 @@ func newJammer(strategy string, channels, kJam int, seed int64) (jamming.Jammer,
 	default:
 		return nil, fmt.Errorf("crn: unknown jammer strategy %q (want none, random, sweep, block or split)", strategy)
 	}
+}
+
+// AdversaryBudget bounds a reactive adversary's energy: PerSlot caps the
+// actions scheduled in any one slot, Total is the whole-run reserve (one
+// unit per jammed channel per slot, one unit per node-slot held down).
+// See DESIGN.md "Adversaries and tournaments".
+type AdversaryBudget struct {
+	PerSlot int
+	Total   int
+}
+
+// DefaultAdversaryPerSlot is the per-slot action cap used when an
+// AdversaryBudget leaves PerSlot zero but has energy to spend.
+const DefaultAdversaryPerSlot = 2
+
+// AdversaryReport is the budget ledger of a run that faced a reactive
+// adversary, copied into the result.
+type AdversaryReport struct {
+	// Strategy is the adversary's name.
+	Strategy string
+	// PerSlot and Total echo the budget.
+	PerSlot, Total int
+	// Spent is the energy charged; JamSpent and CrashSpent split it by
+	// weapon.
+	Spent, JamSpent, CrashSpent int
+	// ExhaustedAt is the slot the reserve hit zero, or -1.
+	ExhaustedAt int
+}
+
+// advReport copies a driver's ledger into the public report form.
+func advReport(drv *adversary.Driver) *AdversaryReport {
+	led := drv.Ledger()
+	return &AdversaryReport{
+		Strategy:    drv.Name(),
+		PerSlot:     led.PerSlot,
+		Total:       led.Total,
+		Spent:       led.Spent,
+		JamSpent:    led.JamSpent,
+		CrashSpent:  led.CrashSpent,
+		ExhaustedAt: led.ExhaustedAt,
+	}
+}
+
+// NewReactiveJammedNetwork builds the Theorem 18 reduction under a
+// *reactive* adversary (package adversary): a strategy that observes every
+// slot's channel outcomes and jams up to budget.PerSlot channels next
+// slot, spending from budget.Total. Strategies: "none", "busiest",
+// "follower", "hunter" (crash-capable strategies like "crasher" have no
+// jamming interpretation and are rejected). The per-slot cap doubles as
+// the reduction's kJam, so it must stay below channels/2 and the overlap
+// guarantee is channels − 2·PerSlot.
+//
+// A "none" strategy or a zero budget builds the plain no-jammer control
+// network — byte-for-byte, so zero-energy runs are their own control arm.
+func NewReactiveJammedNetwork(nodes, channels int, strategy string, budget AdversaryBudget, seed int64) (*Network, error) {
+	strat, err := adversary.New(strategy)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	if strategy != "none" && !adversary.CanJam(strategy) {
+		return nil, fmt.Errorf("crn: adversary %q cannot jam; reactive jammed networks take none, busiest, follower or hunter", strategy)
+	}
+	if budget.PerSlot == 0 && budget.Total > 0 {
+		budget.PerSlot = DefaultAdversaryPerSlot
+	}
+	if strategy == "none" || budget.Total <= 0 || budget.PerSlot <= 0 {
+		return NewJammedNetwork(nodes, channels, 0, "none", seed)
+	}
+	drv, err := adversary.NewDriver(strat, nodes, channels, adversary.Budget{PerSlot: budget.PerSlot, Total: budget.Total}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("crn: %w", err)
+	}
+	drv.EnableJam(budget.PerSlot)
+	asn, err := jamming.NewAssignment(nodes, channels, budget.PerSlot, drv, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{asn: asn, dynamic: true, adv: drv}, nil
 }
 
 // JamPhase is one segment of a phase-scheduled jamming adversary: from
@@ -366,6 +446,9 @@ type BroadcastResult struct {
 	TreeHeight int
 	// Metrics carries medium statistics when requested via CollectMetrics.
 	Metrics *MediumMetrics
+	// Adversary is the budget ledger when the network was built by
+	// NewReactiveJammedNetwork with an active adversary; nil otherwise.
+	Adversary *AdversaryReport
 }
 
 // MediumMetrics summarizes how a run used the radio medium.
@@ -396,6 +479,12 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 	if opts.CollectMetrics {
 		collector = &metrics.Collector{}
 		cfg.Observer = collector
+	}
+	if nw.adv != nil {
+		// The reactive adversary closes its loop through the observer
+		// hook; re-arm its budget and plan for this run.
+		nw.adv.Reset()
+		cfg.Observer = sim.Tee(cfg.Observer, nw.adv)
 	}
 	var sink *trace.JSONL
 	if opts.Trace != nil {
@@ -435,6 +524,9 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 			DeliveryRate:        m.DeliveryRate,
 		}
 	}
+	if nw.adv != nil {
+		out.Adversary = advReport(nw.adv)
+	}
 	return out, nil
 }
 
@@ -456,12 +548,18 @@ func (nw *Network) newTrace(w io.Writer, protocol string, seed int64, collisions
 	if ja, ok := nw.asn.(*jamming.Assignment); ok {
 		ja.SetTrace(sink)
 	}
+	if nw.adv != nil {
+		nw.adv.SetTrace(sink)
+	}
 	return sink
 }
 
 func (nw *Network) detachTrace() {
 	if ja, ok := nw.asn.(*jamming.Assignment); ok {
 		ja.SetTrace(nil)
+	}
+	if nw.adv != nil {
+		nw.adv.SetTrace(nil)
 	}
 }
 
@@ -513,6 +611,20 @@ type AggregateOptions struct {
 	// element says so. This is the programmatic form of the scenario DSL's
 	// event schedule (see SCENARIOS.md).
 	Faults []FaultSpec
+	// Adversary, with Recover set, pits the supervised run against a
+	// reactive crash adversary (package adversary): the named strategy
+	// observes every slot's channel outcomes and decides which nodes to
+	// hold down next slot, bounded by AdversaryEnergy. Strategies with a
+	// crash interpretation: "none", "hunter", "crasher", "oblivious".
+	// The source is protected. Empty means no adversary.
+	Adversary string
+	// AdversaryEnergy is the adversary's total energy reserve (one unit
+	// per node-slot held down). Zero disables the adversary entirely —
+	// the run is byte-for-byte the control.
+	AdversaryEnergy int
+	// AdversaryPerSlot caps nodes held down per slot (0 = the
+	// DefaultAdversaryPerSlot default).
+	AdversaryPerSlot int
 	// Shards splits the engine's per-slot protocol scan across that many
 	// goroutines, speeding up very large networks on multi-core machines.
 	// Results are byte-identical at any value; 0 or 1 means serial.
@@ -618,6 +730,9 @@ type AggregateResult struct {
 	// Retries, Reelections and Restarts (recovered runs only) count epoch
 	// re-executions, mediator re-elections, and node crash-restart cycles.
 	Retries, Reelections, Restarts int
+	// Adversary is the budget ledger when the run faced an active
+	// reactive adversary (AggregateOptions.Adversary); nil otherwise.
+	Adversary *AdversaryReport
 }
 
 // Stats is the value of the "stats" aggregate.
@@ -656,6 +771,9 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 	if opts.Trace != nil {
 		sink = nw.newTrace(opts.Trace, "cogcomp", opts.Seed, sim.UniformWinner)
 		defer nw.detachTrace()
+	}
+	if opts.Adversary != "" && !opts.Recover {
+		return nil, errors.New("crn: Adversary needs Recover (the classic runner has no fault injection)")
 	}
 	if opts.Recover {
 		return nw.aggregateRecovered(inputs, opts, f, sink)
@@ -729,6 +847,37 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 		}
 		parts = append(parts, s)
 	}
+	var drv *adversary.Driver
+	if opts.Adversary != "" {
+		strat, err := adversary.New(opts.Adversary)
+		if err != nil {
+			return nil, fmt.Errorf("crn: %w", err)
+		}
+		if opts.Adversary != "none" && !adversary.CanCrash(opts.Adversary) {
+			return nil, fmt.Errorf("crn: adversary %q cannot crash nodes; recovered runs take none, hunter, crasher or oblivious", opts.Adversary)
+		}
+		perSlot := opts.AdversaryPerSlot
+		if perSlot == 0 && opts.AdversaryEnergy > 0 {
+			perSlot = DefaultAdversaryPerSlot
+		}
+		budget := adversary.Budget{PerSlot: perSlot, Total: opts.AdversaryEnergy}
+		drv, err = adversary.NewDriver(strat, nw.Nodes(), nw.TotalChannels(), budget, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("crn: %w", err)
+		}
+		drv.EnableCrash(sim.NodeID(opts.Source))
+		if drv.Active() {
+			// An inert adversary (zero energy or the no-op control) is
+			// not wired at all, keeping the run byte-for-byte the
+			// control; an active one joins the fault schedule and closes
+			// its loop through the observer hook.
+			parts = append(parts, drv)
+			cfg.Observer = drv
+			if sink != nil {
+				drv.SetTrace(sink)
+			}
+		}
+	}
 	if len(parts) > 0 {
 		schedule, err := faults.Compose(parts...)
 		if err != nil {
@@ -768,6 +917,9 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 		for i, id := range res.Contributors {
 			out.Contributors[i] = NodeID(id)
 		}
+	}
+	if drv != nil {
+		out.Adversary = advReport(drv)
 	}
 	return out, nil
 }

@@ -26,6 +26,11 @@ type Config struct {
 	MaxSlots int
 	// Func is the aggregate to compute. Nil means aggfunc.Sum.
 	Func aggfunc.Func
+	// Observer, when non-nil, receives every slot's channel outcomes
+	// (before the trace recorder and the invariant checker in tee order).
+	// Reactive adversaries attach through it; note that any observer
+	// gates the sparse engine back to dense stepping.
+	Observer sim.Observer
 	// Trace, when non-nil, receives the run's structured event stream
 	// (TRACE.md): per-slot channel outcomes, phase-transition events as
 	// the run crosses the nominal phase boundaries, and a final census
@@ -171,9 +176,9 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 	if cfg.Sparse {
 		a.engOpts = append(a.engOpts, sim.WithSparse())
 	}
-	var obs sim.Observer
+	obs := cfg.Observer
 	if cfg.Trace != nil {
-		obs = trace.NewRecorder(cfg.Trace)
+		obs = sim.Tee(obs, trace.NewRecorder(cfg.Trace))
 	}
 	if check {
 		if err := invariant.CheckAssignment(asn, 0); err != nil {
@@ -205,8 +210,16 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 // Run executes COGCOMP exactly as the package-level Run does, reusing the
 // arena's nodes and engine.
 func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config) (*Result, error) {
+	return a.RunWith(asn, source, inputs, seed, cfg, nil)
+}
+
+// RunWith is Run with an optional protocol wrapper interposed between the
+// engine and every node (see Prepare) — the hook fault injectors use to
+// run the *unsupervised* protocol under crashes, measuring what recovery
+// is worth. A nil wrap is exactly Run.
+func (a *Arena) RunWith(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg Config, wrap func(sim.NodeID, *Node) sim.Protocol) (*Result, error) {
 	n := asn.Nodes()
-	nodes, eng, l, err := a.Prepare(asn, source, inputs, seed, cfg, nil)
+	nodes, eng, l, err := a.Prepare(asn, source, inputs, seed, cfg, wrap)
 	if err != nil {
 		return nil, err
 	}

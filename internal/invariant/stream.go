@@ -26,6 +26,8 @@ type Stream struct {
 	lastPhase   int64
 	lastDone    int64
 	sawProgress bool
+	advRem      int64
+	sawAdv      bool
 
 	violations int
 	firstErr   error
@@ -48,6 +50,8 @@ func (s *Stream) resetTrial() {
 	s.lastPhase = 0
 	s.lastDone = -1
 	s.sawProgress = false
+	s.advRem = 0
+	s.sawAdv = false
 }
 
 // Emit implements trace.Sink.
@@ -121,6 +125,46 @@ func (s *Stream) check(ev trace.Event) {
 	case trace.KindFault, trace.KindJam:
 		if ev.A < 0 {
 			s.failf("%s event with negative count %d", ev.Kind, ev.A)
+		}
+	case trace.KindAdv:
+		// The adversary budget ledger, re-derived from the stream: every
+		// spend is the sum of its action counts, stays positive (silent
+		// slots emit nothing), and the remaining reserve chains down by
+		// exactly the spend from one event to the next.
+		jam, crash := int64(ev.Channel), int64(ev.Node)
+		if jam < 0 || crash < 0 || ev.A != jam+crash {
+			s.failf("adversary spend %d does not match %d jams + %d crashes at slot %d", ev.A, jam, crash, ev.Slot)
+		}
+		if ev.A < 1 {
+			s.failf("adversary event with zero spend at slot %d", ev.Slot)
+		}
+		if ev.B < 0 {
+			s.failf("adversary reserve %d negative at slot %d", ev.B, ev.Slot)
+		}
+		if s.sawAdv && ev.B != s.advRem-ev.A {
+			s.failf("adversary ledger breaks: reserve %d after spending %d from %d at slot %d", ev.B, ev.A, s.advRem, ev.Slot)
+		}
+		s.advRem = ev.B
+		s.sawAdv = true
+	case trace.KindEpoch:
+		if ev.A < 1 || ev.A > 4 {
+			s.failf("epoch %d outside [1,4]", ev.A)
+		}
+	case trace.KindCheckpoint:
+		if ev.Node < 0 {
+			s.failf("checkpoint event for node %d", ev.Node)
+		}
+	case trace.KindRetry:
+		if ev.A < 1 || ev.A > 4 || ev.B < 1 {
+			s.failf("retry attempt %d of epoch %d", ev.B, ev.A)
+		}
+	case trace.KindReelect:
+		if ev.Node < 0 || ev.Node == ev.Peer {
+			s.failf("re-election of node %d replacing %d", ev.Node, ev.Peer)
+		}
+	case trace.KindRestart:
+		if ev.Node < 0 {
+			s.failf("restart event for node %d", ev.Node)
 		}
 	default:
 		s.failf("unknown event kind %d", ev.Kind)

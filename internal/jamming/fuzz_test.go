@@ -1,0 +1,195 @@
+package jamming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cogradio/crn/internal/adversary"
+	"github.com/cogradio/crn/internal/jamming"
+	"github.com/cogradio/crn/internal/sim"
+)
+
+// jammerUnderTest pairs a Jammer with an optional per-slot feed that
+// advances reactive state (the driver's observe-then-plan cycle); nil
+// feed means the jammer is oblivious.
+type jammerUnderTest struct {
+	j    jamming.Jammer
+	feed func(slot int)
+}
+
+// buildJammers constructs one of every Jammer implementation in the repo
+// — the oblivious strategies of this package plus an adversary.Driver per
+// reactive strategy — all with the same (c, kJam, seed). The reactive
+// drivers are fed a synthetic outcome history decoded from script so
+// their plans actually vary.
+func buildJammers(t testing.TB, n, c, kJam int, seed int64, script []byte) []jammerUnderTest {
+	juts := []jammerUnderTest{
+		{j: jamming.NoJammer{}},
+		{j: jamming.NewRandomJammer(c, kJam, seed)},
+		{j: jamming.NewSweepJammer(c, kJam)},
+		{j: jamming.NewBlockSweepJammer(c, kJam, 3)},
+		{j: jamming.NewSplitJammer(c, kJam, 2)},
+	}
+	for _, name := range adversary.Strategies() {
+		if !adversary.CanJam(name) {
+			continue
+		}
+		strat, err := adversary.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv, err := adversary.NewDriver(strat, n, c, adversary.Budget{PerSlot: kJam, Total: 64}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv.EnableJam(kJam)
+		drv.Reset()
+		juts = append(juts, jammerUnderTest{
+			j:    drv,
+			feed: func(slot int) { drv.OnSlot(slot, scriptOutcomes(script, slot, n, c)) },
+		})
+	}
+	return juts
+}
+
+// scriptOutcomes decodes one slot's synthetic channel outcomes from raw
+// fuzz bytes: deterministic, in-range, with repeats so streak and traffic
+// detectors engage.
+func scriptOutcomes(script []byte, slot, n, c int) []sim.ChannelOutcome {
+	if len(script) == 0 {
+		return nil
+	}
+	var outs []sim.ChannelOutcome
+	for ch := 0; ch < c; ch++ {
+		b := script[(slot*c+ch)%len(script)]
+		if b%4 == 0 {
+			continue // idle channel
+		}
+		w := sim.NodeID(int(b/4) % n)
+		out := sim.ChannelOutcome{
+			Channel:      ch,
+			Broadcasters: []sim.NodeID{w, sim.NodeID((int(w) + 1) % n)},
+			Winner:       w,
+			Listeners:    []sim.NodeID{sim.NodeID((int(w) + 2) % n)},
+		}
+		if b%4 == 3 {
+			out.Winner = sim.None
+		}
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// checkJammerContract drives one jammer for the given slots and enforces
+// the Jammer contract from the interface doc: at most kJam distinct
+// channels, all in [0, c), per node per slot — and bit-identical output
+// when the same (seed, history) is replayed. It returns the recorded
+// jam sequence for the replay comparison.
+func checkJammerContract(t testing.TB, jut jammerUnderTest, n, c, kJam, slots int) []string {
+	var record []string
+	for slot := 0; slot < slots; slot++ {
+		for u := 0; u < n; u++ {
+			jam := jut.j.Jammed(slot, sim.NodeID(u))
+			if len(jam) > kJam {
+				t.Fatalf("%s: slot %d node %d: %d jams exceed budget %d", jut.j.Name(), slot, u, len(jam), kJam)
+			}
+			seen := make(map[int]bool, len(jam))
+			for _, ch := range jam {
+				if ch < 0 || ch >= c {
+					t.Fatalf("%s: slot %d node %d: channel %d out of [0, %d)", jut.j.Name(), slot, u, ch, c)
+				}
+				if seen[ch] {
+					t.Fatalf("%s: slot %d node %d: duplicate channel %d", jut.j.Name(), slot, u, ch)
+				}
+				seen[ch] = true
+			}
+			record = append(record, fmt.Sprint(jam))
+		}
+		if jut.feed != nil {
+			jut.feed(slot)
+		}
+	}
+	return record
+}
+
+// TestJammerContract is the always-on property test behind FuzzJammer:
+// every Jammer in the repo honors the budget/range/determinism contract
+// on a fixed configuration, and the Theorem 18 reduction built on top of
+// each still guarantees c−kJam channels per node.
+func TestJammerContract(t *testing.T) {
+	const n, c, kJam, slots = 6, 9, 3, 32
+	script := []byte("synthetic traffic for the reactive arms \x01\x07\x0b\x13")
+	run := func() [][]string {
+		var all [][]string
+		for _, jut := range buildJammers(t, n, c, kJam, 42, script) {
+			all = append(all, checkJammerContract(t, jut, n, c, kJam, slots))
+		}
+		return all
+	}
+	first, second := run(), run()
+	for i := range first {
+		for k := range first[i] {
+			if first[i][k] != second[i][k] {
+				t.Fatalf("jammer #%d: replay diverged at step %d: %s vs %s", i, k, first[i][k], second[i][k])
+			}
+		}
+	}
+	// Each jammer also composes with the reduction: per-slot channel sets
+	// keep at least c−kJam channels.
+	for _, jut := range buildJammers(t, n, c, kJam, 42, script) {
+		asn, err := jamming.NewAssignment(n, c, kJam, jut.j, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", jut.j.Name(), err)
+		}
+		for slot := 0; slot < slots; slot++ {
+			for u := 0; u < n; u++ {
+				set := asn.ChannelSet(sim.NodeID(u), slot)
+				if len(set) < c-kJam {
+					t.Fatalf("%s: slot %d node %d: %d channels < guaranteed %d", jut.j.Name(), slot, u, len(set), c-kJam)
+				}
+			}
+			if jut.feed != nil {
+				jut.feed(slot)
+			}
+		}
+	}
+}
+
+// FuzzJammer fuzzes the Jammer contract across every implementation —
+// the oblivious strategies and the reactive adversary drivers — under
+// fuzzer-chosen topology, budget, seed and observation history. Any
+// accepted configuration must keep every jammer within budget, in range,
+// duplicate-free, and bit-reproducible under replay.
+func FuzzJammer(f *testing.F) {
+	f.Add(uint8(6), uint8(9), uint8(3), int64(1), []byte("steady traffic \x05\x09\x11"))
+	f.Add(uint8(2), uint8(2), uint8(0), int64(-7), []byte{0})
+	f.Add(uint8(16), uint8(12), uint8(5), int64(99), []byte("\x03\x03\x03\x03\xff\xfe\xfd bursty"))
+	f.Fuzz(func(t *testing.T, rawN, rawC, rawJam uint8, seed int64, script []byte) {
+		n := 2 + int(rawN)%15 // [2, 16] nodes
+		c := 2 + int(rawC)%15 // [2, 16] channels
+		kJam := 0
+		if c/2 > 0 {
+			kJam = int(rawJam) % (c / 2) // 0 <= kJam < c/2
+		}
+		slots := len(script) + 4
+		if slots > 48 {
+			slots = 48
+		}
+		run := func() [][]string {
+			var all [][]string
+			for _, jut := range buildJammers(t, n, c, kJam, seed, script) {
+				all = append(all, checkJammerContract(t, jut, n, c, kJam, slots))
+			}
+			return all
+		}
+		first, second := run(), run()
+		for i := range first {
+			for k := range first[i] {
+				if first[i][k] != second[i][k] {
+					t.Fatalf("jammer #%d: replay diverged at step %d (n=%d c=%d kJam=%d seed=%d): %s vs %s",
+						i, k, n, c, kJam, seed, first[i][k], second[i][k])
+				}
+			}
+		}
+	})
+}

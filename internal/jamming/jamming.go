@@ -27,9 +27,13 @@ import (
 
 // Jammer is an n-uniform jamming adversary: per slot it decides, for each
 // node individually, which physical channels to jam. Implementations must
-// be deterministic functions of (slot, node) so runs are reproducible;
-// oblivious adversaries only (the model gives the adversary no access to
-// the nodes' coin flips).
+// be deterministic so runs are reproducible: oblivious jammers (the
+// strategies below) are functions of (slot, node), while reactive ones
+// (package adversary) may additionally depend on the channel outcomes of
+// *earlier* slots, observed through the sim.Observer hook. No adversary
+// sees the current slot's coin flips — the model grants reactions, not
+// prescience — which the slot ordering enforces structurally: the
+// engine materializes slot t's channel sets before resolving slot t.
 type Jammer interface {
 	// Name identifies the strategy in reports.
 	Name() string

@@ -84,6 +84,11 @@ type Config struct {
 	// MaxRetries bounds re-executions per epoch. Zero means
 	// DefaultMaxRetries.
 	MaxRetries int
+	// Observer, when non-nil, receives every slot's channel outcomes
+	// (cogcomp.Config.Observer, tee'd before the trace recorder and the
+	// checker). Reactive adversaries observe the supervised run through
+	// it; pairing it with an adversarial Schedule closes their loop.
+	Observer sim.Observer
 	// Backoff is the initial backoff gap in slots before an epoch retry,
 	// doubling per attempt up to a cap. Zero means DefaultBackoff.
 	Backoff int
@@ -207,7 +212,7 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	} else {
 		a.crashers = a.crashers[:0]
 	}
-	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Trace: cfg.Trace, Check: cfg.Check, Shards: cfg.Shards}
+	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Observer: cfg.Observer, Trace: cfg.Trace, Check: cfg.Check, Shards: cfg.Shards}
 	if cfg.Schedule != nil && cfg.Trace != nil {
 		// Traced fault runs must stay serial: crashers emit fault/restart
 		// events from inside Step, and a sharded scan would interleave them

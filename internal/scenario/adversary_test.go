@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// reactiveBase returns a valid reactive-jammer cogcast scenario.
+func reactiveBase() *Scenario {
+	sc := &Scenario{
+		Name:      "t",
+		Topology:  Topology{Nodes: 16, ChannelsPerNode: 16, Generator: "jammed"},
+		Protocol:  Protocol{Name: "cogcast"},
+		Adversary: Adversary{Strategy: "busiest", Energy: 60},
+	}
+	sc.Normalize()
+	return sc
+}
+
+func TestAdversaryDecode(t *testing.T) {
+	sc, err := Parse([]byte(`
+name: adv
+topology:
+  nodes: 16
+  channels_per_node: 16
+  generator: jammed
+protocol:
+  name: cogcast
+adversary:
+  strategy: follower
+  energy: 80
+  per_slot: 3
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Adversary{Strategy: "follower", Energy: 80, PerSlot: 3}
+	if sc.Adversary != want {
+		t.Errorf("decoded adversary = %+v, want %+v", sc.Adversary, want)
+	}
+	if _, err := Parse([]byte("name: t\nadversary:\n  strategy: busiest\n  joules: 5\n")); err == nil ||
+		!strings.Contains(err.Error(), `unknown field "joules"`) {
+		t.Errorf("unknown adversary field not rejected: %v", err)
+	}
+}
+
+func TestAdversaryNormalize(t *testing.T) {
+	sc := reactiveBase()
+	if sc.Adversary.PerSlot != 2 {
+		t.Errorf("per_slot default = %d, want 2", sc.Adversary.PerSlot)
+	}
+	// The reactive adversary owns the jammer: no "random" default strategy.
+	if sc.Topology.JamStrategy != "" {
+		t.Errorf("jam_strategy defaulted to %q under a reactive adversary", sc.Topology.JamStrategy)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversaryValidateRejects(t *testing.T) {
+	recovered := func() *Scenario {
+		sc := &Scenario{
+			Name:      "t",
+			Topology:  Topology{Nodes: 16, ChannelsPerNode: 8, MinOverlap: 2, Generator: "shared-core"},
+			Protocol:  Protocol{Name: "cogcomp"},
+			Recovery:  Recovery{Enabled: true},
+			Adversary: Adversary{Strategy: "crasher", Energy: 60},
+		}
+		sc.Normalize()
+		return sc
+	}
+	if err := recovered().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sc   func() *Scenario
+		want string
+	}{
+		{"energy without strategy", func() *Scenario {
+			sc := &Scenario{
+				Name:      "t",
+				Topology:  Topology{Nodes: 16, ChannelsPerNode: 8, MinOverlap: 2, Generator: "shared-core"},
+				Protocol:  Protocol{Name: "cogcast"},
+				Adversary: Adversary{Energy: 10},
+			}
+			sc.Normalize()
+			return sc
+		}, `scenario: adversary.energy: needs adversary.strategy`},
+		{"unknown strategy", func() *Scenario { sc := reactiveBase(); sc.Adversary.Strategy = "nuke"; return sc },
+			`scenario: adversary.strategy: unknown reactive strategy "nuke"`},
+		{"negative energy", func() *Scenario { sc := reactiveBase(); sc.Adversary.Energy = -1; return sc },
+			`scenario: adversary.energy: -1 out of range (want >= 0)`},
+		{"crash strategy on cogcast", func() *Scenario { sc := reactiveBase(); sc.Adversary.Strategy = "crasher"; return sc },
+			`scenario: adversary.strategy: "crasher" cannot jam; cogcast takes none, busiest, follower or hunter`},
+		{"cogcast without jammed topology", func() *Scenario {
+			sc := reactiveBase()
+			sc.Topology = Topology{Nodes: 16, ChannelsPerNode: 8, MinOverlap: 2, Generator: "shared-core"}
+			sc.Normalize()
+			return sc
+		}, `scenario: adversary.strategy: reactive jamming needs topology.generator "jammed"`},
+		{"per_slot at c/2", func() *Scenario { sc := reactiveBase(); sc.Adversary.PerSlot = 8; return sc },
+			`scenario: adversary.per_slot: 8 out of range (want 2*per_slot < channels_per_node = 16; per_slot is the reduction's jam budget)`},
+		{"jam strategy alongside adversary", func() *Scenario { sc := reactiveBase(); sc.Topology.JamStrategy = "random"; return sc },
+			`scenario: topology.jam_strategy: the adversary section drives the jammer; leave it unset`},
+		{"jam budget alongside adversary", func() *Scenario { sc := reactiveBase(); sc.Topology.JamBudget = 2; return sc },
+			`scenario: topology.jam_budget: the adversary's per_slot is the jam budget; leave it unset`},
+		{"jam-switch alongside adversary", func() *Scenario {
+			sc := reactiveBase()
+			sc.Events = []Event{{Kind: EvJamSwitch, At: 5, Strategy: "sweep", Budget: 2}}
+			return sc
+		}, `scenario: events[0]: the reactive adversary owns the jammer; drop jam-switch events`},
+		{"jam strategy on cogcomp", func() *Scenario { sc := recovered(); sc.Adversary.Strategy = "busiest"; return sc },
+			`scenario: adversary.strategy: "busiest" cannot crash nodes; cogcomp takes none, hunter, crasher or oblivious`},
+		{"cogcomp without recovery", func() *Scenario { sc := recovered(); sc.Recovery = Recovery{OutageDuration: 10}; return sc },
+			`scenario: adversary.strategy: needs recovery.enabled on cogcomp (the classic runner has no fault injection)`},
+		{"unsupported protocol", func() *Scenario {
+			sc := recovered()
+			sc.Protocol.Name = "gossip"
+			sc.Recovery = Recovery{OutageDuration: 10}
+			return sc
+		}, `scenario: adversary.strategy: supports cogcast and cogcomp, not "gossip"`},
+		{"experiment with adversary", func() *Scenario {
+			sc := &Scenario{
+				Name:       "t",
+				Protocol:   Protocol{Name: "experiment"},
+				Experiment: Experiment{ID: "E30"},
+				Adversary:  Adversary{Strategy: "crasher", Energy: 10},
+			}
+			sc.Normalize()
+			return sc
+		}, `scenario: adversary: experiment runs schedule their own adversaries (E30 is the tournament); drop the adversary section`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc().Validate()
+			if err == nil || err.Error() != tc.want {
+				t.Errorf("got %v, want %s", err, tc.want)
+			}
+		})
+	}
+}

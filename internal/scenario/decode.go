@@ -245,7 +245,7 @@ func (d *decoder) intList(m map[string]any, path, key string) []int {
 func (d *decoder) decodeRoot(m map[string]any, sc *Scenario) {
 	d.checkUnknown(m, "",
 		"name", "description", "seed", "topology", "protocol", "engine",
-		"recovery", "experiment", "events", "assertions")
+		"recovery", "adversary", "experiment", "events", "assertions")
 	sc.Name = d.str(m, "", "name")
 	sc.Description = d.str(m, "", "description")
 	sc.Seed = d.int64(m, "", "seed")
@@ -299,6 +299,14 @@ func (d *decoder) decodeRoot(m map[string]any, sc *Scenario) {
 			OutageRate:     d.float(r, "recovery", "outage_rate"),
 			OutageDuration: d.integer(r, "recovery", "outage_duration"),
 			MaxRetries:     d.integer(r, "recovery", "max_retries"),
+		}
+	}
+	if a := d.section(m, "", "adversary"); a != nil {
+		d.checkUnknown(a, "adversary", "strategy", "energy", "per_slot")
+		sc.Adversary = Adversary{
+			Strategy: d.str(a, "adversary", "strategy"),
+			Energy:   d.integer(a, "adversary", "energy"),
+			PerSlot:  d.integer(a, "adversary", "per_slot"),
 		}
 	}
 	if x := d.section(m, "", "experiment"); x != nil {

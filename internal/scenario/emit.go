@@ -37,8 +37,12 @@ func (sc *Scenario) Emit() []byte {
 		w("  generator: %s\n", emitString(t.Generator))
 		w("  labels: %s\n", emitString(t.Labels))
 		if t.Generator == "jammed" {
-			w("  jam_strategy: %s\n", emitString(t.JamStrategy))
-			w("  jam_budget: %d\n", t.JamBudget)
+			// A reactive adversary owns the jammer; the oblivious fields
+			// stay unset and unrendered.
+			if t.JamStrategy != "" {
+				w("  jam_strategy: %s\n", emitString(t.JamStrategy))
+				w("  jam_budget: %d\n", t.JamBudget)
+			}
 		} else {
 			w("  dynamic: %v\n", t.Dynamic)
 		}
@@ -77,6 +81,13 @@ func (sc *Scenario) Emit() []byte {
 			w("  outage_duration: %d\n", r.OutageDuration)
 			w("  max_retries: %d\n", r.MaxRetries)
 		}
+	}
+
+	if a := sc.Adversary; a.Strategy != "" {
+		w("adversary:\n")
+		w("  strategy: %s\n", emitString(a.Strategy))
+		w("  energy: %d\n", a.Energy)
+		w("  per_slot: %d\n", a.PerSlot)
 	}
 
 	if experiment {

@@ -114,6 +114,16 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 	if sc.Recovery.OutageRate > 0 && !sc.Recovery.Enabled {
 		return nil, fmt.Errorf("-outage needs -recover (the classic runner has no fault injection)")
 	}
+	if sc.Adversary.Strategy != "" {
+		switch sc.Protocol.Name {
+		case "cogcast", "cogcomp":
+		default:
+			return nil, fmt.Errorf("-adversary supports cogcast and cogcomp, not %q", sc.Protocol.Name)
+		}
+		if sc.Protocol.Name == "cogcomp" && !sc.Recovery.Enabled {
+			return nil, fmt.Errorf("-adversary on cogcomp needs -recover (the classic runner has no fault injection)")
+		}
+	}
 
 	oc := &Outcome{Nodes: net.Nodes()}
 	switch sc.Protocol.Name {
@@ -133,6 +143,9 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 		}
 		fmt.Fprintf(out, "cogcast: %d slots, all informed: %v, tree height %d\n",
 			res.Slots, res.AllInformed, res.TreeHeight)
+		if res.Adversary != nil {
+			fmt.Fprintf(out, "adversary: %s\n", adversaryLine(res.Adversary))
+		}
 		if sc.Protocol.Curve {
 			fmt.Fprintf(out, "epidemic: %s\n", sparkline(res.Trajectory, net.Nodes()))
 		}
@@ -160,6 +173,11 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 			opts.MaxRetries = sc.Recovery.MaxRetries
 			opts.Faults = sc.faultSpecs()
 		}
+		if sc.Adversary.Strategy != "" {
+			opts.Adversary = sc.Adversary.Strategy
+			opts.AdversaryEnergy = sc.Adversary.Energy
+			opts.AdversaryPerSlot = sc.Adversary.PerSlot
+		}
 		if traceW != nil {
 			opts.Trace = traceW
 		}
@@ -174,6 +192,9 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 			fmt.Fprintf(out, "recovery: contributors %d/%d, retries %d, re-elections %d, restarts %d, degraded %v, stalled %v\n",
 				len(res.Contributors), net.Nodes(), res.Retries, res.Reelections, res.Restarts,
 				res.Degraded, res.Stalled)
+		}
+		if res.Adversary != nil {
+			fmt.Fprintf(out, "adversary: %s\n", adversaryLine(res.Adversary))
 		}
 		if traceW != nil {
 			if err := closeTrace(); err != nil {
@@ -287,6 +308,11 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 				opts.OutageDuration = sc.Recovery.OutageDuration
 				opts.MaxRetries = sc.Recovery.MaxRetries
 			}
+			if sc.Adversary.Strategy != "" {
+				opts.Adversary = sc.Adversary.Strategy
+				opts.AdversaryEnergy = sc.Adversary.Energy
+				opts.AdversaryPerSlot = sc.Adversary.PerSlot
+			}
 			res, err := net.Aggregate(inputs, opts)
 			if err != nil {
 				return 0, err
@@ -354,6 +380,10 @@ func (sc *Scenario) executeExperiment(out io.Writer) (*Outcome, error) {
 func (sc *Scenario) buildNetwork(seed int64) (*crn.Network, error) {
 	t := sc.Topology
 	if t.Generator == "jammed" {
+		if sc.Adversary.Strategy != "" {
+			return crn.NewReactiveJammedNetwork(t.Nodes, t.ChannelsPerNode, sc.Adversary.Strategy,
+				crn.AdversaryBudget{PerSlot: sc.Adversary.PerSlot, Total: sc.Adversary.Energy}, seed)
+		}
 		phases := sc.jamPhases()
 		if len(phases) == 1 {
 			return crn.NewJammedNetwork(t.Nodes, t.ChannelsPerNode, t.JamBudget, t.JamStrategy, seed)
@@ -439,6 +469,16 @@ func (sc *Scenario) faultSpecs() []crn.FaultSpec {
 		specs = append(specs, spec)
 	}
 	return specs
+}
+
+// adversaryLine renders a run's adversary budget ledger.
+func adversaryLine(a *crn.AdversaryReport) string {
+	exhausted := "no"
+	if a.ExhaustedAt >= 0 {
+		exhausted = fmt.Sprintf("at slot %d", a.ExhaustedAt)
+	}
+	return fmt.Sprintf("%s spent %d/%d (jam %d, crash %d, per-slot cap %d), exhausted %s",
+		a.Strategy, a.Spent, a.Total, a.JamSpent, a.CrashSpent, a.PerSlot, exhausted)
 }
 
 // mediumLine renders public MediumMetrics through the internal

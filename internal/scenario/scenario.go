@@ -44,6 +44,8 @@ type Scenario struct {
 	Engine Engine
 	// Recovery configures the crash-restart supervisor (cogcomp only).
 	Recovery Recovery
+	// Adversary configures a reactive (adaptive) adversary over the run.
+	Adversary Adversary
 	// Experiment configures an experiment-suite run; only valid (and
 	// required) when Protocol.Name is "experiment".
 	Experiment Experiment
@@ -131,6 +133,26 @@ type Recovery struct {
 	// MaxRetries bounds per-epoch re-executions before the run degrades
 	// (0 = library default).
 	MaxRetries int
+}
+
+// Adversary configures a reactive adversary (package adversary): a
+// strategy that observes every slot's channel outcomes and spends a
+// bounded energy budget on next-slot jamming (cogcast over a "jammed"
+// topology) or crash-restarts (recovered cogcomp runs).
+type Adversary struct {
+	// Strategy names the reactive strategy. Jam-capable strategies
+	// ("busiest", "follower", "hunter") drive cogcast's jammed reduction;
+	// crash-capable ones ("hunter", "crasher", "oblivious") feed the
+	// recovery supervisor; "none" is the inert control.
+	Strategy string
+	// Energy is the total reserve: one unit per jammed channel per slot,
+	// one unit per node held down per slot. Zero leaves the adversary
+	// inert (the run is byte-identical to the control).
+	Energy int
+	// PerSlot caps actions scheduled per slot (default 2). On jammed
+	// topologies it doubles as the reduction's kJam, so 2*per_slot must
+	// stay below channels_per_node.
+	PerSlot int
 }
 
 // Experiment configures a run of the E1–E28 experiment suite.
@@ -237,7 +259,9 @@ func (sc *Scenario) Normalize() {
 		t.Labels = "local"
 	}
 	if t.Generator == "jammed" {
-		if t.JamStrategy == "" {
+		// A reactive adversary owns the jammer; only the oblivious
+		// generator defaults to the "random" strategy.
+		if t.JamStrategy == "" && sc.Adversary.Strategy == "" {
 			t.JamStrategy = "random"
 		}
 	} else if t.TotalChannels == 0 {
@@ -268,6 +292,10 @@ func (sc *Scenario) Normalize() {
 	r := &sc.Recovery
 	if r.OutageDuration == 0 {
 		r.OutageDuration = 10
+	}
+	a := &sc.Adversary
+	if a.Strategy != "" && a.PerSlot == 0 {
+		a.PerSlot = 2 // crn.DefaultAdversaryPerSlot
 	}
 	for i := range sc.Events {
 		ev := &sc.Events[i]

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/cogradio/crn/internal/adversary"
 	"github.com/cogradio/crn/internal/exper"
 )
 
@@ -58,6 +59,9 @@ func (sc *Scenario) Validate() error {
 	if err := sc.validateRecovery(); err != nil {
 		return err
 	}
+	if err := sc.validateAdversary(); err != nil {
+		return err
+	}
 	if err := sc.validateEvents(); err != nil {
 		return err
 	}
@@ -82,7 +86,15 @@ func (sc *Scenario) validateTopology() error {
 		return fmt.Errorf("scenario: topology.labels: unknown label model %q (want local or global)", t.Labels)
 	}
 	if t.Generator == "jammed" {
-		if !oneOf(t.JamStrategy, jammers) {
+		if sc.Adversary.Strategy != "" {
+			// The reactive adversary owns the jammer on this topology.
+			if t.JamStrategy != "" {
+				return fmt.Errorf("scenario: topology.jam_strategy: the adversary section drives the jammer; leave it unset")
+			}
+			if t.JamBudget != 0 {
+				return fmt.Errorf("scenario: topology.jam_budget: the adversary's per_slot is the jam budget; leave it unset")
+			}
+		} else if !oneOf(t.JamStrategy, jammers) {
 			return fmt.Errorf("scenario: topology.jam_strategy: unknown jammer strategy %q", t.JamStrategy)
 		}
 		if t.JamBudget < 0 || 2*t.JamBudget >= t.ChannelsPerNode {
@@ -202,6 +214,52 @@ func (sc *Scenario) validateRecovery() error {
 	return nil
 }
 
+// validateAdversary checks the reactive-adversary section against the
+// protocol: jam-capable strategies ride cogcast's jammed topology (where
+// per_slot doubles as the reduction's kJam), crash-capable ones ride the
+// recovery supervisor.
+func (sc *Scenario) validateAdversary() error {
+	a := sc.Adversary
+	if a.Strategy == "" {
+		if a.Energy != 0 || a.PerSlot != 0 {
+			return fmt.Errorf("scenario: adversary.energy: needs adversary.strategy")
+		}
+		return nil
+	}
+	if _, err := adversary.New(a.Strategy); err != nil {
+		return fmt.Errorf("scenario: adversary.strategy: unknown reactive strategy %q", a.Strategy)
+	}
+	if a.Energy < 0 {
+		return fmt.Errorf("scenario: adversary.energy: %d out of range (want >= 0)", a.Energy)
+	}
+	if a.PerSlot < 1 {
+		return fmt.Errorf("scenario: adversary.per_slot: %d out of range (want >= 1)", a.PerSlot)
+	}
+	switch sc.Protocol.Name {
+	case "cogcast":
+		if a.Strategy != "none" && !adversary.CanJam(a.Strategy) {
+			return fmt.Errorf("scenario: adversary.strategy: %q cannot jam; cogcast takes none, busiest, follower or hunter", a.Strategy)
+		}
+		if sc.Topology.Generator != "jammed" {
+			return fmt.Errorf("scenario: adversary.strategy: reactive jamming needs topology.generator \"jammed\"")
+		}
+		if 2*a.PerSlot >= sc.Topology.ChannelsPerNode {
+			return fmt.Errorf("scenario: adversary.per_slot: %d out of range (want 2*per_slot < channels_per_node = %d; per_slot is the reduction's jam budget)",
+				a.PerSlot, sc.Topology.ChannelsPerNode)
+		}
+	case "cogcomp":
+		if a.Strategy != "none" && !adversary.CanCrash(a.Strategy) {
+			return fmt.Errorf("scenario: adversary.strategy: %q cannot crash nodes; cogcomp takes none, hunter, crasher or oblivious", a.Strategy)
+		}
+		if !sc.Recovery.Enabled {
+			return fmt.Errorf("scenario: adversary.strategy: needs recovery.enabled on cogcomp (the classic runner has no fault injection)")
+		}
+	default:
+		return fmt.Errorf("scenario: adversary.strategy: supports cogcast and cogcomp, not %q", sc.Protocol.Name)
+	}
+	return nil
+}
+
 func (sc *Scenario) validateEvents() error {
 	type window struct{ from, until, index int }
 	windows := map[string][]window{}
@@ -268,6 +326,9 @@ func (sc *Scenario) validateEvents() error {
 		case EvJamSwitch:
 			if sc.Topology.Generator != "jammed" {
 				return fmt.Errorf("scenario: %s: jam-switch needs topology.generator \"jammed\"", path)
+			}
+			if sc.Adversary.Strategy != "" {
+				return fmt.Errorf("scenario: %s: the reactive adversary owns the jammer; drop jam-switch events", path)
 			}
 			if ev.At < 1 {
 				return fmt.Errorf("scenario: %s: at %d out of range (want >= 1; slot 0 is topology.jam_strategy)", path, ev.At)
@@ -418,6 +479,9 @@ func (sc *Scenario) validateExperiment() error {
 	}
 	if sc.Recovery.OutageRate != 0 || sc.Recovery.MaxRetries != 0 {
 		return fmt.Errorf("scenario: recovery: experiment runs only use recovery.enabled (the E26/E27 supervisor toggle)")
+	}
+	if sc.Adversary != (Adversary{}) {
+		return fmt.Errorf("scenario: adversary: experiment runs schedule their own adversaries (E30 is the tournament); drop the adversary section")
 	}
 	return nil
 }

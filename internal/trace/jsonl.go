@@ -140,6 +140,12 @@ func (j *JSONL) Emit(ev Event) {
 	case KindRestart:
 		b = appendField(b, "t", int64(ev.Slot))
 		b = appendField(b, "node", int64(ev.Node))
+	case KindAdv:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "jam", int64(ev.Channel))
+		b = appendField(b, "crash", int64(ev.Node))
+		b = appendField(b, "spent", ev.A)
+		b = appendField(b, "rem", ev.B)
 	default:
 		j.err = fmt.Errorf("trace: cannot encode invalid event kind %d", ev.Kind)
 		return
@@ -193,6 +199,11 @@ type rawLine struct {
 	Gen     int64 `json:"gen"`
 	Attempt int64 `json:"attempt"`
 	Old     int   `json:"old"`
+
+	Jam   int64 `json:"jam"`
+	Crash int64 `json:"crash"`
+	Spent int64 `json:"spent"`
+	Rem   int64 `json:"rem"`
 
 	Protocol   string `json:"protocol"`
 	Nodes      int    `json:"nodes"`
@@ -289,6 +300,8 @@ func (raw *rawLine) event() (Event, error) {
 		return ReelectEvent(slot, raw.Ch, raw.Node, raw.Old), nil
 	case "restart":
 		return RestartEvent(slot, raw.Node), nil
+	case "adv":
+		return AdvEvent(slot, int(raw.Jam), int(raw.Crash), int(raw.Spent), int(raw.Rem)), nil
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", raw.K)
 	}

@@ -67,6 +67,13 @@ const (
 	// KindRestart reports that Node came back from a crash at the event's
 	// slot with what its durability model preserved (crash-restart faults).
 	KindRestart
+	// KindAdv reports a reactive adversary's energy spend in one slot:
+	// Channel carries the jammed-channel count, Node the crashed-node
+	// count, A the total energy charged (their sum) and B the reserve
+	// remaining after the charge. Slots in which the adversary spent
+	// nothing emit no event, so B chains exactly from one event to the
+	// next (the invariant.Stream ledger check).
+	KindAdv
 )
 
 // String returns the kind's on-disk tag.
@@ -100,6 +107,8 @@ func (k Kind) String() string {
 		return "reelect"
 	case KindRestart:
 		return "restart"
+	case KindAdv:
+		return "adv"
 	default:
 		return "invalid"
 	}
@@ -225,6 +234,13 @@ func ReelectEvent(slot, ch, node, old int) Event {
 // at slot, recovering its WAL-backed protocol state (DESIGN.md §7).
 func RestartEvent(slot, node int) Event {
 	return Event{Kind: KindRestart, Slot: slot, Channel: -1, Node: node, Peer: -1}
+}
+
+// AdvEvent returns a KindAdv record: a reactive adversary jammed jam
+// channels and held down crash nodes in slot, charging spent energy
+// (jam+crash) with remaining reserve left afterwards.
+func AdvEvent(slot, jam, crash, spent, remaining int) Event {
+	return Event{Kind: KindAdv, Slot: slot, Channel: jam, Node: crash, Peer: -1, A: int64(spent), B: int64(remaining)}
 }
 
 // Meta describes the run a trace was recorded from; it becomes the JSONL
