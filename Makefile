@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check scenario-check check bench bench-engine baseline baseline-quick baseline-scale fuzz cover clean
+.PHONY: all build test race vet fmt-check scenario-check chaos check bench bench-engine baseline baseline-quick baseline-scale fuzz cover clean
 
 # Per-target fuzzing budget for `make fuzz`.
 FUZZTIME ?= 30s
@@ -18,12 +18,12 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # The trial runner executes experiment trials on a worker pool; the race
 # detector is part of the standard flow, not an optional extra.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,13 @@ fmt-check:
 scenario-check:
 	$(GO) run ./cmd/cogsim validate scenarios/*.yaml
 	$(GO) run ./cmd/cogsim run scenarios/*.yaml > /dev/null
+
+# Resilience gate: the infra-chaos property suite (internal/chaos) plus the
+# trial-pool tests, under the race detector. Both packages run a
+# goroutine-leak gate around the whole test binary (chaos.VerifyNoLeaks), so
+# an abandoned worker fails the run even when every assertion passed.
+chaos:
+	$(GO) test -race -timeout 10m ./internal/chaos ./internal/parallel
 
 check: build vet fmt-check test race scenario-check
 

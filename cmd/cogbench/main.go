@@ -14,14 +14,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/cogradio/crn/internal/exper"
@@ -32,10 +36,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the suite's context: in-flight trials drain,
+	// the tables rendered so far stay on stdout, trace files get their
+	// cancel event and end-of-stream marker, and the process exits 130
+	// (the shell convention for SIGINT). Other failures exit 1.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cogbench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
+}
+
+// run is runCtx without an interrupt context (tests call it directly).
+func run(args []string, out io.Writer) error {
+	return runCtx(context.Background(), args, out)
 }
 
 // benchRecord is one experiment's entry in the -bench-out report. Slots and
@@ -74,7 +92,7 @@ type benchReport struct {
 // (9268.425, not 9268.425000000001).
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
-func run(args []string, out io.Writer) (retErr error) {
+func runCtx(ctx context.Context, args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("cogbench", flag.ContinueOnError)
 	var (
 		expList  = fs.String("exp", "all", "comma-separated experiment IDs (e.g. E1,E6) or 'all'")
@@ -94,6 +112,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		allocLmt = fs.Float64("alloc-limit", 1.25, "with -compare: fail if any experiment's allocations exceed this multiple of the old report's (<= 0 disables)")
 		spsLmt   = fs.Float64("slotsps-limit", 0, "with -compare: fail if total slots/sec falls below the old report's divided by this factor (<= 0 disables; throughput is machine-dependent)")
 		bpnLmt   = fs.Float64("bytespn-limit", 0, "with -compare: fail if any experiment's bytes/node exceed this multiple of the old report's (<= 0 disables)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); an exceeded budget interrupts the current experiment at the next slot boundary")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the traced experiments to this file (forces serial trials; schema in TRACE.md)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -153,7 +172,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		report.Shards = *shards
 	}
 	report.Sparse = *sparse
-	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov, Shards: *shards, Sparse: *sparse}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := exper.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallel: *workers, Check: *check, Recover: *recov, Shards: *shards, Sparse: *sparse, Context: ctx}
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
@@ -165,6 +189,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		cfg.Trace = sink
 		report.Parallel = 1 // sinks force serial trials
 		defer func() {
+			// Even an interrupted run leaves a parseable trace: record the
+			// interrupt as a cancel event, then the end-of-stream marker.
+			var it *sim.Interrupted
+			if errors.As(retErr, &it) {
+				sink.Emit(trace.CancelEvent(it.Slots, errors.Is(it.Cause, context.DeadlineExceeded)))
+			}
+			sink.Finish()
 			err := w.Flush()
 			if cerr := f.Close(); err == nil {
 				err = cerr

@@ -24,10 +24,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/cogradio/crn/internal/prof"
 	"github.com/cogradio/crn/internal/scenario"
@@ -35,17 +39,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: the engine stops at the
+	// next slot boundary, trace files get their cancel event and
+	// end-of-stream marker, and the typed error reports the partial
+	// progress. A canceled run exits 130 (the shell convention for
+	// SIGINT); every other failure exits 1.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cogsim:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
+// run is runCtx without an interrupt context (tests call it directly).
 func run(args []string, out io.Writer) error {
+	return runCtx(context.Background(), args, out)
+}
+
+func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) > 0 {
 		switch args[0] {
 		case "run":
-			return runScenarios(args[1:], out)
+			return runScenarios(ctx, args[1:], out)
 		case "validate":
 			return validateScenarios(args[1:], out)
 		}
@@ -79,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		workers  = fs.Int("parallel", 0, "workers for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 		shards   = fs.Int("shards", 1, "goroutines sharding each slot's protocol scan inside the engine (1 = serial); output is identical for every value; dynamic/jammed networks run serially")
 		sparse   = fs.Bool("sparse", false, "event-driven stepping: skip dormant nodes instead of scanning all n each slot; output is identical either way; traced/checked and dynamic/jammed runs step densely")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the run (0 = none); an exceeded budget stops the run at the next slot boundary with a deadline error")
 		traceTo  = fs.String("trace", "", "record a JSONL event trace of the run to this file (cogcast and cogcomp, single run; schema in TRACE.md)")
 		traceSum = fs.String("trace-summary", "", "read a trace file and fold it back into summary numbers instead of running anything")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -132,6 +152,9 @@ func run(args []string, out io.Writer) error {
 		},
 		Recovery: scenario.Recovery{Enabled: *recov, OutageRate: *outage},
 	}
+	if *timeout > 0 {
+		sc.Limits.Deadline = timeout.String()
+	}
 	if *jam != "" {
 		sc.Topology = scenario.Topology{
 			Nodes:           *n,
@@ -158,28 +181,38 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	_, err = sc.Execute(out)
+	_, err = sc.ExecuteContext(ctx, out)
 	if serr := stop(); err == nil {
 		err = serr
 	}
 	return err
 }
 
-// runScenarios implements `cogsim run file.yaml...`: load each scenario,
-// execute it, and evaluate its assertions; any failure exits non-zero.
-func runScenarios(args []string, out io.Writer) error {
-	if len(args) == 0 {
+// runScenarios implements `cogsim run [-timeout d] file.yaml...`: load each
+// scenario, execute it, and evaluate its assertions; any failure exits
+// non-zero. -timeout overrides each file's limits.deadline.
+func runScenarios(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cogsim run", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per scenario (0 = the file's limits.deadline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
 		return fmt.Errorf("run: need at least one scenario file")
 	}
-	for _, path := range args {
-		if len(args) > 1 {
+	for _, path := range files {
+		if len(files) > 1 {
 			fmt.Fprintf(out, "--- %s\n", path)
 		}
 		sc, err := scenario.Load(path)
 		if err != nil {
 			return err
 		}
-		if err := sc.Run(out); err != nil {
+		if *timeout > 0 {
+			sc.Limits.Deadline = timeout.String()
+		}
+		if err := sc.RunContext(ctx, out); err != nil {
 			return err
 		}
 	}
@@ -241,7 +274,7 @@ func summarizeTrace(out io.Writer, path string) error {
 		trace.KindSlot, trace.KindChannel, trace.KindProgress, trace.KindInformed,
 		trace.KindPhase, trace.KindCensus, trace.KindFault, trace.KindJam, trace.KindTrial,
 		trace.KindEpoch, trace.KindCheckpoint, trace.KindRetry, trace.KindReelect,
-		trace.KindRestart, trace.KindAdv,
+		trace.KindRestart, trace.KindAdv, trace.KindCancel,
 	} {
 		if count := s.Events[kind]; count > 0 {
 			fmt.Fprintf(out, " %s=%d", kind, count)
@@ -254,6 +287,21 @@ func summarizeTrace(out io.Writer, path string) error {
 	}
 	for _, p := range s.Phases {
 		fmt.Fprintf(out, "phase %d: starts slot %d (nominal length %d)\n", p.A, p.Slot, p.B)
+	}
+	if c := s.Cancel; c != nil {
+		why := "canceled"
+		if c.A == 1 {
+			why = "deadline exceeded"
+		}
+		fmt.Fprintf(out, "cancel: %s after %d slots (the run was interrupted gracefully; metrics cover the slots that completed)\n", why, c.Slot)
+	}
+	// A trace without the end-of-stream marker was cut mid-write (a crash
+	// or a hard kill, not a graceful cancel). The numbers above only cover
+	// what reached the file, so say so loudly instead of passing them off
+	// as a finished run's metrics.
+	if !s.Complete {
+		fmt.Fprintf(out, "truncated: no end-of-stream marker\n")
+		return fmt.Errorf("trace %s is truncated: the writer stopped mid-stream, so the summary above covers only the %d events that reached the file", path, totalEvents)
 	}
 	return nil
 }

@@ -33,9 +33,11 @@
 package crn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/cogradio/crn/internal/adversary"
 	"github.com/cogradio/crn/internal/aggfunc"
@@ -427,6 +429,16 @@ type BroadcastOptions struct {
 	// CollectMetrics attached, and dynamic or jammed networks, silently
 	// step densely.
 	Sparse bool
+	// Context, when non-nil, can interrupt the run. Cancellation is
+	// observed at slot boundaries and consumes no protocol randomness, so
+	// a run that completes is byte-identical to the same run without a
+	// context. An interrupted run returns an *InterruptedError wrapping
+	// ErrCanceled or ErrDeadlineExceeded and carrying the count of fully
+	// executed slots.
+	Context context.Context
+	// Deadline, when positive, bounds the run's wall-clock time by
+	// wrapping Context (or a background context) with a timeout.
+	Deadline time.Duration
 }
 
 // BroadcastResult reports a Broadcast run.
@@ -467,6 +479,8 @@ type MediumMetrics struct {
 
 // Broadcast runs COGCAST over the network.
 func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
+	ctx, cancel := interruptContext(opts.Context, opts.Deadline)
+	defer cancel()
 	cfg := cogcast.RunConfig{
 		MaxSlots:         opts.MaxSlots,
 		Trajectory:       opts.Trajectory,
@@ -474,6 +488,7 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		Check:            opts.Check,
 		Shards:           opts.Shards,
 		Sparse:           opts.Sparse,
+		Context:          ctx,
 	}
 	var collector *metrics.Collector
 	if opts.CollectMetrics {
@@ -494,9 +509,10 @@ func (nw *Network) Broadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 	}
 	res, err := cogcast.Run(nw.asn, sim.NodeID(opts.Source), opts.Payload, opts.Seed, cfg)
 	if err != nil {
-		return nil, err
+		return nil, finishInterrupted(sink, err)
 	}
 	if sink != nil {
+		sink.Finish()
 		if terr := sink.Err(); terr != nil {
 			return nil, terr
 		}
@@ -636,6 +652,16 @@ type AggregateOptions struct {
 	// with Trace or Check attached, and recovered runs (Recover), silently
 	// step densely.
 	Sparse bool
+	// Context, when non-nil, can interrupt the run. Cancellation is
+	// observed at slot boundaries and consumes no protocol randomness, so
+	// a run that completes is byte-identical to the same run without a
+	// context. An interrupted run returns an *InterruptedError wrapping
+	// ErrCanceled or ErrDeadlineExceeded and carrying the count of fully
+	// executed slots.
+	Context context.Context
+	// Deadline, when positive, bounds the run's wall-clock time by
+	// wrapping Context (or a background context) with a timeout.
+	Deadline time.Duration
 }
 
 // FaultSpec declares one timed fault-injection element of a recovered run.
@@ -752,6 +778,73 @@ type Reading struct {
 // missing inputs. Re-run with a larger Kappa.
 var ErrIncomplete = cogcomp.ErrIncomplete
 
+// Sentinels for interrupted runs: errors.Is(err, ErrCanceled) matches a run
+// stopped by its Context, errors.Is(err, ErrDeadlineExceeded) one stopped by
+// its Deadline (or a context deadline). The concrete error is always an
+// *InterruptedError carrying the partial progress.
+var (
+	ErrCanceled         = errors.New("crn: run canceled")
+	ErrDeadlineExceeded = errors.New("crn: deadline exceeded")
+)
+
+// InterruptedError reports a run stopped by its Context or Deadline at a
+// slot boundary. The slots already executed are real, fully simulated
+// slots; only the remainder of the run is missing.
+type InterruptedError struct {
+	// Slots is the count of fully executed slots before the interrupt.
+	Slots int
+	// Deadline reports whether a deadline (rather than a plain
+	// cancellation) stopped the run.
+	Deadline bool
+	// sentinel is ErrCanceled or ErrDeadlineExceeded; cause the wrapped
+	// engine error (which itself wraps context.Canceled or
+	// context.DeadlineExceeded).
+	sentinel, cause error
+}
+
+// Error reports the engine's deterministic interrupt message.
+func (e *InterruptedError) Error() string { return e.cause.Error() }
+
+// Unwrap exposes both the crn sentinel and the underlying engine error, so
+// errors.Is works with ErrCanceled/ErrDeadlineExceeded as well as
+// context.Canceled/context.DeadlineExceeded.
+func (e *InterruptedError) Unwrap() []error { return []error{e.sentinel, e.cause} }
+
+// interruptContext assembles a run's interrupt context from the Context
+// and Deadline options. The returned cancel is never nil; callers must
+// defer it (it releases the deadline timer).
+func interruptContext(ctx context.Context, deadline time.Duration) (context.Context, context.CancelFunc) {
+	if deadline <= 0 {
+		return ctx, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, deadline)
+}
+
+// finishInterrupted converts an engine interrupt into the public typed
+// error. When a trace sink is attached it records the interrupt as a
+// "cancel" event and writes the end-of-stream marker, so a gracefully
+// interrupted trace file stays parseable and self-declares completeness.
+// Non-interrupt errors pass through untouched.
+func finishInterrupted(sink *trace.JSONL, err error) error {
+	var it *sim.Interrupted
+	if !errors.As(err, &it) {
+		return err
+	}
+	deadline := errors.Is(it.Cause, context.DeadlineExceeded)
+	if sink != nil {
+		sink.Emit(trace.CancelEvent(it.Slots, deadline))
+		sink.Finish()
+	}
+	sentinel := ErrCanceled
+	if deadline {
+		sentinel = ErrDeadlineExceeded
+	}
+	return &InterruptedError{Slots: it.Slots, Deadline: deadline, sentinel: sentinel, cause: err}
+}
+
 // Aggregate runs COGCOMP over the network: inputs[v] is node v's datum, and
 // the returned value is the aggregate of all inputs at the source. The
 // network must be static (phases two to four revisit phase-one channels).
@@ -767,6 +860,8 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := interruptContext(opts.Context, opts.Deadline)
+	defer cancel()
 	var sink *trace.JSONL
 	if opts.Trace != nil {
 		sink = nw.newTrace(opts.Trace, "cogcomp", opts.Seed, sim.UniformWinner)
@@ -776,7 +871,7 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 		return nil, errors.New("crn: Adversary needs Recover (the classic runner has no fault injection)")
 	}
 	if opts.Recover {
-		return nw.aggregateRecovered(inputs, opts, f, sink)
+		return nw.aggregateRecovered(ctx, inputs, opts, f, sink)
 	}
 	cfg := cogcomp.Config{
 		Kappa:    opts.Kappa,
@@ -785,15 +880,17 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 		Check:    opts.Check,
 		Shards:   opts.Shards,
 		Sparse:   opts.Sparse,
+		Context:  ctx,
 	}
 	if sink != nil {
 		cfg.Trace = sink
 	}
 	res, err := cogcomp.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cfg)
 	if err != nil {
-		return nil, err
+		return nil, finishInterrupted(sink, err)
 	}
 	if sink != nil {
+		sink.Finish()
 		if terr := sink.Err(); terr != nil {
 			return nil, terr
 		}
@@ -816,7 +913,7 @@ func (nw *Network) Aggregate(inputs []int64, opts AggregateOptions) (*AggregateR
 
 // aggregateRecovered runs the recovery supervisor for Aggregate, with
 // optional injected outages.
-func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f aggfunc.Func, sink *trace.JSONL) (*AggregateResult, error) {
+func (nw *Network) aggregateRecovered(ctx context.Context, inputs []int64, opts AggregateOptions, f aggfunc.Func, sink *trace.JSONL) (*AggregateResult, error) {
 	cfg := recov.Config{
 		Kappa:      opts.Kappa,
 		MaxSlots:   opts.MaxSlots,
@@ -824,6 +921,7 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 		MaxRetries: opts.MaxRetries,
 		Check:      opts.Check,
 		Shards:     opts.Shards,
+		Context:    ctx,
 	}
 	if sink != nil {
 		cfg.Trace = sink
@@ -887,9 +985,10 @@ func (nw *Network) aggregateRecovered(inputs []int64, opts AggregateOptions, f a
 	}
 	res, err := recov.Run(nw.asn, sim.NodeID(opts.Source), inputs, opts.Seed, cfg)
 	if err != nil {
-		return nil, err
+		return nil, finishInterrupted(sink, err)
 	}
 	if sink != nil {
+		sink.Finish()
 		if terr := sink.Err(); terr != nil {
 			return nil, terr
 		}
@@ -967,8 +1066,11 @@ func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*Se
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := interruptContext(opts.Context, opts.Deadline)
+	defer cancel()
 	var arena cogcomp.Arena
 	arena.SetCheck(opts.Check)
+	arena.SetContext(ctx)
 	res, err := arena.RunRounds(nw.asn, sim.NodeID(opts.Source), rounds, opts.Seed, cogcomp.SessionConfig{
 		Kappa:  opts.Kappa,
 		Func:   f,
@@ -976,7 +1078,7 @@ func (nw *Network) AggregateRounds(rounds [][]int64, opts AggregateOptions) (*Se
 		Sparse: opts.Sparse,
 	})
 	if err != nil {
-		return nil, err
+		return nil, finishInterrupted(nil, err)
 	}
 	out := &SessionResult{
 		Values:     make([]any, len(res.Values)),

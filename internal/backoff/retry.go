@@ -1,0 +1,22 @@
+package backoff
+
+// RetryGap returns the exponential-backoff gap for the attempt-th retry:
+// initial << attempt, clamped to max and safe against shift overflow (any
+// overflowed or non-positive product collapses to max, as does any attempt
+// at or beyond the word size). The unit is the caller's: the recovery
+// supervisor schedules gaps in slots, the trial pool in scheduler yields.
+// The schedule is a pure function of (initial, attempt, max), so retry
+// timing is reproducible run to run.
+func RetryGap(initial, attempt, max int) int {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt >= 63 {
+		return max
+	}
+	g := initial << uint(attempt)
+	if g > max || g <= 0 {
+		g = max
+	}
+	return g
+}

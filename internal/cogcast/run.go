@@ -1,6 +1,7 @@
 package cogcast
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cogradio/crn/internal/invariant"
@@ -63,6 +64,11 @@ type RunConfig struct {
 	// O(1) AllDone. The big wins belong to protocols with quiescent phases
 	// (COGCOMP's census, the hopping baseline). Byte-identical either way.
 	Sparse bool
+	// Context, when non-nil, is checked at every slot boundary
+	// (sim.WithContext): a done context stops the run with a
+	// *sim.Interrupted error carrying the slots completed. Runs that
+	// complete are byte-identical with or without one.
+	Context context.Context
 }
 
 // Arena holds the reusable pieces of a COGCAST execution — nodes, their
@@ -77,6 +83,7 @@ type Arena struct {
 	wasInformed []bool
 	opts        []sim.Option
 	forceCheck  bool
+	ctx         context.Context
 	checker     *invariant.Checker
 }
 
@@ -86,6 +93,12 @@ type Arena struct {
 // flag through each run-configuration site.
 func (a *Arena) SetCheck(on bool) { a.forceCheck = on }
 
+// SetContext attaches a context to every subsequent Run on this arena that
+// does not carry its own RunConfig.Context — how the experiment harness
+// makes a whole suite cancellable without threading a context through each
+// run-configuration site (the SetCheck pattern).
+func (a *Arena) SetContext(ctx context.Context) { a.ctx = ctx }
+
 // Checker returns the arena's invariant checker, non-nil once a checked
 // run has happened. Its winner-uniformity tallies pool across all of the
 // arena's checked runs (see invariant.Checker.Uniformity).
@@ -94,6 +107,15 @@ func (a *Arena) Checker() *invariant.Checker { return a.checker }
 // Nodes exposes the per-node protocol state of the most recent Run; entry i
 // is valid until the arena's next trial. COGCOMP's phases read these.
 func (a *Arena) Nodes() []*Node { return a.nodes }
+
+// runContext picks the effective run context: the per-run config wins,
+// then the arena-wide default, then none.
+func runContext(cfg, arena context.Context) context.Context {
+	if cfg != nil {
+		return cfg
+	}
+	return arena
+}
 
 // build (re)initializes n nodes and the engine for one trial. nodeOpts apply
 // to every node (COGCOMP passes WithRecording).
@@ -142,6 +164,9 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, payload sim.Message, 
 	}
 	if cfg.Sparse {
 		a.opts = append(a.opts, sim.WithSparse())
+	}
+	if ctx := runContext(cfg.Context, a.ctx); ctx != nil {
+		a.opts = append(a.opts, sim.WithContext(ctx))
 	}
 	obs := cfg.Observer
 	if cfg.Trace != nil {

@@ -1,6 +1,7 @@
 package cogcomp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,6 +55,11 @@ type Config struct {
 	// observer is attached (Trace/Check) or the assignment is not
 	// slot-invariant.
 	Sparse bool
+	// Context, when non-nil, is checked at every slot boundary
+	// (sim.WithContext): a done context stops the run with a
+	// *sim.Interrupted error carrying the slots completed. Runs that
+	// complete are byte-identical with or without one.
+	Context context.Context
 }
 
 // DefaultMaxSlots is the slot budget Run uses when Config.MaxSlots is
@@ -98,6 +104,7 @@ type Arena struct {
 	eng        *sim.Engine
 	engOpts    []sim.Option
 	forceCheck bool
+	ctx        context.Context
 	checker    *invariant.Checker
 	infSlots   []int
 }
@@ -105,6 +112,10 @@ type Arena struct {
 // SetCheck forces invariant checking for every subsequent Run on this
 // arena, regardless of Config.Check (see cogcast.Arena.SetCheck).
 func (a *Arena) SetCheck(on bool) { a.forceCheck = on }
+
+// SetContext attaches a context to every subsequent Run on this arena that
+// does not carry its own Config.Context (see cogcast.Arena.SetContext).
+func (a *Arena) SetContext(ctx context.Context) { a.ctx = ctx }
 
 // Checker returns the arena's invariant checker, non-nil once a checked
 // run has happened.
@@ -175,6 +186,13 @@ func (a *Arena) Prepare(asn sim.Assignment, source sim.NodeID, inputs []int64, s
 	}
 	if cfg.Sparse {
 		a.engOpts = append(a.engOpts, sim.WithSparse())
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = a.ctx
+	}
+	if ctx != nil {
+		a.engOpts = append(a.engOpts, sim.WithContext(ctx))
 	}
 	obs := cfg.Observer
 	if cfg.Trace != nil {

@@ -23,6 +23,7 @@
 package conform
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -160,7 +161,7 @@ func runSweep(s Sweep, measure func(a *arena, p Point, trialSeed int64) (float64
 		}
 	}
 	total := len(s.Points) * s.Trials
-	slots, err := parallel.MapArena(total, s.Workers, func() *arena { return new(arena) },
+	slots, err := parallel.MapArena(context.Background(), total, s.Workers, func() *arena { return new(arena) },
 		func(i int, a *arena) (float64, error) {
 			p := s.Points[i/s.Trials]
 			trial := i % s.Trials

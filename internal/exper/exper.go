@@ -7,6 +7,7 @@
 package exper
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -75,6 +76,13 @@ type Config struct {
 	// flag only moves wall-clock. The recovery supervisor (Recover) always
 	// runs dense: its fault wrappers void dormancy promises.
 	Sparse bool
+	// Context, when non-nil, makes the experiment cancellable: the worker
+	// pool stops claiming new trials once it is done (surfacing a
+	// *parallel.CanceledError with the finished-trial count) and every
+	// trial's engine checks it at slot boundaries (surfacing a
+	// *sim.Interrupted mid-trial). An experiment that completes is
+	// byte-identical with or without one.
+	Context context.Context
 }
 
 // DefaultTrials is the per-point repetition count when Config.Trials is 0.
@@ -186,7 +194,7 @@ func (a *arena) experInputs(n int, seed int64) []int64 {
 // and share no other mutable state — which is what makes the resulting
 // tables independent of Config.Parallel.
 func forTrials[T any](cfg Config, trials int, fn func(trial int, a *arena) (T, error)) ([]T, error) {
-	return parallel.MapArena(trials, cfg.workers(), func() *arena {
+	return parallel.MapArena(cfg.Context, trials, cfg.workers(), func() *arena {
 		a := new(arena)
 		if cfg.Check {
 			// Arena-level forcing puts every trial of every experiment
@@ -195,6 +203,14 @@ func forTrials[T any](cfg Config, trials int, fn func(trial int, a *arena) (T, e
 			a.cast.SetCheck(true)
 			a.comp.SetCheck(true)
 			a.rec.SetCheck(true)
+		}
+		if cfg.Context != nil {
+			// Same trick for cancellation: the arenas hand the context to
+			// every engine they build, so a cancel lands at the next slot
+			// boundary instead of waiting out the current trial.
+			a.cast.SetContext(cfg.Context)
+			a.comp.SetContext(cfg.Context)
+			a.rec.SetContext(cfg.Context)
 		}
 		return a
 	}, fn)

@@ -11,6 +11,7 @@ package games
 // attacker with bounded energy.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -167,7 +168,7 @@ func RunTournament(cfg Tournament) (*TournamentResult, error) {
 			// arm and trial index alone — so every adversary faces the same
 			// baseline draws, overhead comparisons are paired, and an inert
 			// adversary's row is byte-identical to the "none" row.
-			outcomes, err := parallel.MapArena(cfg.Trials, cfg.Workers,
+			outcomes, err := parallel.MapArena(context.Background(), cfg.Trials, cfg.Workers,
 				func() *tourArena { return new(tourArena) },
 				func(trial int, a *tourArena) (trialOutcome, error) {
 					ts := rng.Derive(cfg.Seed, int64(ai), int64(trial), 0x7031)

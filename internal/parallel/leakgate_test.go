@@ -1,0 +1,16 @@
+package parallel_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/cogradio/crn/internal/chaos"
+)
+
+// TestMain gates the package on goroutine hygiene: the pool's contract is
+// that no worker is ever abandoned — not on error, not on panic, not on
+// cancellation — so a test run that leaves goroutines behind fails even
+// when every individual assertion passed.
+func TestMain(m *testing.M) {
+	os.Exit(chaos.VerifyNoLeaks(m))
+}

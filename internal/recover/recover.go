@@ -42,10 +42,12 @@
 package recover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/cogradio/crn/internal/aggfunc"
+	"github.com/cogradio/crn/internal/backoff"
 	"github.com/cogradio/crn/internal/cogcomp"
 	"github.com/cogradio/crn/internal/faults"
 	"github.com/cogradio/crn/internal/invariant"
@@ -104,6 +106,12 @@ type Config struct {
 	// goroutines (sim.WithShards). Results are byte-identical at any value;
 	// 0 or 1 means serial.
 	Shards int
+	// Context, when non-nil, is checked at every slot boundary of the
+	// supervised run (sim.WithContext): a done context stops the run with
+	// a *sim.Interrupted error. Unlike slot-budget exhaustion — which the
+	// supervisor absorbs into a Stalled result — an interrupt propagates
+	// as an error, wrapped with the supervisor's slot accounting.
+	Context context.Context
 }
 
 // Result reports one recovered COGCOMP execution.
@@ -173,6 +181,10 @@ func (a *Arena) SetCheck(on bool) {
 	a.comp.SetCheck(on)
 }
 
+// SetContext attaches a context to every subsequent Run on this arena that
+// does not carry its own Config.Context (see cogcast.Arena.SetContext).
+func (a *Arena) SetContext(ctx context.Context) { a.comp.SetContext(ctx) }
+
 // run is the per-execution supervisor state.
 type run struct {
 	a      *Arena
@@ -212,7 +224,7 @@ func (a *Arena) Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed 
 	} else {
 		a.crashers = a.crashers[:0]
 	}
-	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Observer: cfg.Observer, Trace: cfg.Trace, Check: cfg.Check, Shards: cfg.Shards}
+	ccfg := cogcomp.Config{Kappa: cfg.Kappa, Func: cfg.Func, Observer: cfg.Observer, Trace: cfg.Trace, Check: cfg.Check, Shards: cfg.Shards, Context: cfg.Context}
 	if cfg.Schedule != nil && cfg.Trace != nil {
 		// Traced fault runs must stay serial: crashers emit fault/restart
 		// events from inside Step, and a sharded scan would interleave them
@@ -271,7 +283,9 @@ func Run(asn sim.Assignment, source sim.NodeID, inputs []int64, seed int64, cfg 
 }
 
 // supervise drives the engine through the four epochs. A sim.ErrMaxSlots
-// anywhere turns into a stalled (not failed) run.
+// anywhere turns into a stalled (not failed) run; a *sim.Interrupted
+// (context cancel or deadline) is a real error and propagates wrapped, so
+// callers can still errors.As it out.
 func (r *run) supervise() error {
 	for _, epoch := range []func() error{r.epoch1, r.epoch2, r.epoch3, r.epoch4} {
 		if err := epoch(); err != nil {
@@ -315,11 +329,7 @@ func (r *run) runUntil(until int) error {
 
 // gap returns the backoff gap for the attempt-th retry (0-based).
 func (r *run) gap(attempt int) int {
-	g := r.backoff << attempt
-	if g > maxBackoffGap || g <= 0 {
-		g = maxBackoffGap
-	}
-	return g
+	return backoff.RetryGap(r.backoff, attempt, maxBackoffGap)
 }
 
 // phys returns the physical channel an informed non-source node censuses

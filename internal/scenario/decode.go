@@ -245,7 +245,7 @@ func (d *decoder) intList(m map[string]any, path, key string) []int {
 func (d *decoder) decodeRoot(m map[string]any, sc *Scenario) {
 	d.checkUnknown(m, "",
 		"name", "description", "seed", "topology", "protocol", "engine",
-		"recovery", "adversary", "experiment", "events", "assertions")
+		"limits", "recovery", "adversary", "experiment", "events", "assertions")
 	sc.Name = d.str(m, "", "name")
 	sc.Description = d.str(m, "", "description")
 	sc.Seed = d.int64(m, "", "seed")
@@ -290,6 +290,13 @@ func (d *decoder) decodeRoot(m map[string]any, sc *Scenario) {
 			Repeat:   d.integer(e, "engine", "repeat"),
 			Check:    d.boolean(e, "engine", "check"),
 			Trace:    d.str(e, "engine", "trace"),
+		}
+	}
+	if l := d.section(m, "", "limits"); l != nil {
+		d.checkUnknown(l, "limits", "deadline", "max_slots")
+		sc.Limits = Limits{
+			Deadline: d.str(l, "limits", "deadline"),
+			MaxSlots: d.integer(l, "limits", "max_slots"),
 		}
 	}
 	if r := d.section(m, "", "recovery"); r != nil {

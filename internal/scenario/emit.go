@@ -72,6 +72,16 @@ func (sc *Scenario) Emit() []byte {
 		w("  trace: %s\n", emitString(e.Trace))
 	}
 
+	if l := sc.Limits; l != (Limits{}) {
+		w("limits:\n")
+		if l.Deadline != "" {
+			w("  deadline: %s\n", emitString(l.Deadline))
+		}
+		if l.MaxSlots != 0 {
+			w("  max_slots: %d\n", l.MaxSlots)
+		}
+	}
+
 	r := sc.Recovery
 	if r.Enabled {
 		w("recovery:\n")

@@ -8,9 +8,11 @@ package scenario
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	crn "github.com/cogradio/crn"
 	"github.com/cogradio/crn/internal/exper"
@@ -44,7 +46,14 @@ type Outcome struct {
 // one line per assertion. It returns an error if the run itself fails or
 // any assertion does.
 func (sc *Scenario) Run(out io.Writer) error {
-	oc, err := sc.Execute(out)
+	return sc.RunContext(context.Background(), out)
+}
+
+// RunContext is Run with an interrupt context: a canceled ctx stops the
+// run at the next slot boundary and the error carries the partial
+// progress. Assertions are only evaluated when the run completes.
+func (sc *Scenario) RunContext(ctx context.Context, out io.Writer) error {
+	oc, err := sc.ExecuteContext(ctx, out)
 	if err != nil {
 		return err
 	}
@@ -56,8 +65,22 @@ func (sc *Scenario) Run(out io.Writer) error {
 // normalized (Load does this); Execute performs only the guard checks the
 // cogsim flag path relies on, not full validation.
 func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
+	return sc.ExecuteContext(context.Background(), out)
+}
+
+// ExecuteContext is Execute under an interrupt context. The Limits
+// section layers on top of ctx: a limits.deadline wraps it with a
+// timeout, limits.max_slots tightens the slot budget. Context checks
+// happen at slot boundaries only and consume no randomness, so a run
+// that completes is byte-identical to the same run without a context.
+func (sc *Scenario) ExecuteContext(ctx context.Context, out io.Writer) (*Outcome, error) {
+	ctx, cancel, err := sc.limitContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
 	if sc.Protocol.Name == "experiment" {
-		return sc.executeExperiment(out)
+		return sc.executeExperiment(ctx, out)
 	}
 	net, err := sc.buildNetwork(sc.Seed)
 	if err != nil {
@@ -71,11 +94,12 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 	if budget == 0 {
 		budget = 64 * net.SlotBound(0)
 	}
+	budget = sc.capSlots(budget)
 	if sc.Engine.Repeat > 1 {
 		if sc.Engine.Trace != "" {
 			return nil, fmt.Errorf("-trace records a single run; drop -repeat")
 		}
-		return sc.runRepeated(out, budget)
+		return sc.runRepeated(ctx, out, budget)
 	}
 
 	// Trace: open the file up front so a bad path fails before the run,
@@ -132,6 +156,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 			Source: crn.NodeID(sc.Protocol.Source), Payload: sc.Protocol.Payload, Seed: sc.Seed,
 			RunToCompletion: true, MaxSlots: budget, Trajectory: sc.Protocol.Curve,
 			Check: sc.Engine.Check, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+			Context: ctx,
 		}
 		if traceW != nil {
 			opts.Trace = traceW
@@ -164,9 +189,10 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 		}
 		opts := crn.AggregateOptions{
 			Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: sc.Seed,
-			MaxSlots: sc.Protocol.MaxSlots,
+			MaxSlots: sc.capSlots(sc.Protocol.MaxSlots),
 			Check:    sc.Engine.Check, Recover: sc.Recovery.Enabled, OutageRate: sc.Recovery.OutageRate,
 			Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+			Context: ctx,
 		}
 		if sc.Recovery.Enabled {
 			opts.OutageDuration = sc.Recovery.OutageDuration
@@ -217,6 +243,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 		res, err := net.AggregateRounds(roundInputs, crn.AggregateOptions{
 			Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: sc.Seed,
 			Check: sc.Engine.Check, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+			Context: ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -274,7 +301,7 @@ func (sc *Scenario) Execute(out io.Writer) (*Outcome, error) {
 // repetition rebuilds its network from a seed derived from the repetition
 // index, so the output is byte-identical at any Engine.Parallel value
 // (dynamic and jammed assignments are stateful and must not be shared).
-func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
+func (sc *Scenario) runRepeated(ctx context.Context, out io.Writer, budget int) (*Outcome, error) {
 	var fn func(trialSeed int64, net *crn.Network) (float64, error)
 	switch sc.Protocol.Name {
 	case "cogcast":
@@ -283,6 +310,7 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 				Source: crn.NodeID(sc.Protocol.Source), Payload: sc.Protocol.Payload, Seed: trialSeed,
 				RunToCompletion: true, MaxSlots: budget, Check: sc.Engine.Check,
 				Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+				Context: ctx,
 			})
 			if err != nil {
 				return 0, err
@@ -300,9 +328,10 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 			}
 			opts := crn.AggregateOptions{
 				Source: crn.NodeID(sc.Protocol.Source), Func: sc.Protocol.Aggregate, Seed: trialSeed,
-				MaxSlots: sc.Protocol.MaxSlots,
+				MaxSlots: sc.capSlots(sc.Protocol.MaxSlots),
 				Check:    sc.Engine.Check, Recover: sc.Recovery.Enabled, OutageRate: sc.Recovery.OutageRate,
 				Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+				Context: ctx,
 			}
 			if sc.Recovery.Enabled {
 				opts.OutageDuration = sc.Recovery.OutageDuration
@@ -322,7 +351,7 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 	default:
 		return nil, fmt.Errorf("-repeat supports cogcast and cogcomp, not %q", sc.Protocol.Name)
 	}
-	slots, err := parallel.Map(sc.Engine.Repeat, sc.Engine.Parallel, func(i int) (float64, error) {
+	slots, err := parallel.Map(ctx, sc.Engine.Repeat, sc.Engine.Parallel, func(i int) (float64, error) {
 		trialSeed := rng.Derive(sc.Seed, int64(i))
 		net, err := sc.buildNetwork(trialSeed)
 		if err != nil {
@@ -352,7 +381,7 @@ func (sc *Scenario) runRepeated(out io.Writer, budget int) (*Outcome, error) {
 // executeExperiment runs an experiment-suite scenario: the named
 // experiment's tables, rendered exactly as cogbench's text format (minus
 // the wall-clock line, which is not reproducible output).
-func (sc *Scenario) executeExperiment(out io.Writer) (*Outcome, error) {
+func (sc *Scenario) executeExperiment(ctx context.Context, out io.Writer) (*Outcome, error) {
 	e, err := exper.ByID(sc.Experiment.ID)
 	if err != nil {
 		return nil, err
@@ -361,6 +390,7 @@ func (sc *Scenario) executeExperiment(out io.Writer) (*Outcome, error) {
 		Seed: sc.Seed, Trials: sc.Experiment.Trials, Quick: sc.Experiment.Quick,
 		Parallel: sc.Engine.Parallel, Check: sc.Engine.Check,
 		Recover: sc.Recovery.Enabled, Shards: sc.Engine.Shards, Sparse: sc.Engine.Sparse,
+		Context: ctx,
 	}
 	tables, err := e.Run(cfg)
 	if err != nil {
@@ -372,6 +402,30 @@ func (sc *Scenario) executeExperiment(out io.Writer) (*Outcome, error) {
 		}
 	}
 	return &Outcome{}, nil
+}
+
+// limitContext layers limits.deadline onto the caller's context. The
+// returned cancel must be called (it releases the timer); with no
+// deadline it is a no-op and the context passes through untouched.
+func (sc *Scenario) limitContext(ctx context.Context) (context.Context, context.CancelFunc, error) {
+	if sc.Limits.Deadline == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(sc.Limits.Deadline)
+	if err != nil || d <= 0 {
+		return nil, nil, fmt.Errorf("limits.deadline: bad duration %q (want e.g. \"30s\" or \"2m\")", sc.Limits.Deadline)
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// capSlots combines a slot budget with limits.max_slots: the smallest
+// nonzero value wins (0 keeps the library default).
+func (sc *Scenario) capSlots(budget int) int {
+	if m := sc.Limits.MaxSlots; m > 0 && (budget == 0 || m < budget) {
+		return m
+	}
+	return budget
 }
 
 // buildNetwork realizes the topology (plus any jam-switch and

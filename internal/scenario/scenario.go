@@ -42,6 +42,8 @@ type Scenario struct {
 	Protocol Protocol
 	// Engine carries execution options that never change results.
 	Engine Engine
+	// Limits bounds the run's wall-clock time and slot budget.
+	Limits Limits
 	// Recovery configures the crash-restart supervisor (cogcomp only).
 	Recovery Recovery
 	// Adversary configures a reactive (adaptive) adversary over the run.
@@ -118,6 +120,21 @@ type Engine struct {
 	Check bool
 	// Trace writes a JSONL event trace of a single run to this path.
 	Trace string
+}
+
+// Limits bounds a run's real time and slot budget. Zero values disable a
+// limit; unlike Engine options, an exceeded limit changes the outcome (the
+// run is interrupted with a typed deadline error, or stops at the slot
+// cap), so limits live in their own section.
+type Limits struct {
+	// Deadline is a wall-clock budget as a Go duration string ("30s",
+	// "2m"). When exceeded, the run is interrupted at the next slot
+	// boundary and Execute returns a deadline-exceeded error carrying the
+	// slots completed so far.
+	Deadline string
+	// MaxSlots caps the slot budget. It combines with protocol.max_slots
+	// (and the automatic budget) by taking the smallest nonzero value.
+	MaxSlots int
 }
 
 // Recovery configures the crash-restart supervisor for cogcomp runs.

@@ -8,6 +8,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/cogradio/crn/internal/adversary"
 	"github.com/cogradio/crn/internal/exper"
@@ -40,6 +41,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if !oneOf(sc.Protocol.Name, protocols) {
 		return fmt.Errorf("scenario: protocol.name: unknown protocol %q", sc.Protocol.Name)
+	}
+	if err := sc.validateLimits(); err != nil {
+		return err
 	}
 	if sc.Protocol.Name == "experiment" {
 		return sc.validateExperiment()
@@ -156,6 +160,26 @@ func (sc *Scenario) validateProtocol() error {
 	}
 	if p.Name == "hop" && sc.Topology.Labels != "global" {
 		return fmt.Errorf("scenario: protocol.name: hop needs topology.labels \"global\"")
+	}
+	return nil
+}
+
+// validateLimits checks the run-limit section. Limits apply to every
+// protocol, experiments included, so Validate calls this before the
+// experiment early-exit.
+func (sc *Scenario) validateLimits() error {
+	l := sc.Limits
+	if l.Deadline != "" {
+		d, err := time.ParseDuration(l.Deadline)
+		if err != nil {
+			return fmt.Errorf("scenario: limits.deadline: bad duration %q (want e.g. \"30s\" or \"2m\")", l.Deadline)
+		}
+		if d <= 0 {
+			return fmt.Errorf("scenario: limits.deadline: %s out of range (want > 0)", l.Deadline)
+		}
+	}
+	if l.MaxSlots < 0 {
+		return fmt.Errorf("scenario: limits.max_slots: %d out of range (want >= 0)", l.MaxSlots)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -59,6 +60,7 @@ type Engine struct {
 
 	slot int
 	obs  Observer
+	ctx  context.Context // slot-boundary interrupt check; nil = never
 
 	// Per-slot scratch, reused across slots so a steady-state RunSlot does
 	// not allocate. bcast and listen are dense, indexed by physical channel
@@ -238,6 +240,7 @@ func (e *Engine) Reset(asn Assignment, nodes []Protocol, seed int64, opts ...Opt
 	e.collisions = UniformWinner
 	e.slot = 0
 	e.obs = nil
+	e.ctx = nil
 	e.shards = 1
 	e.sparseReq = false
 	e.audit = nil
@@ -348,8 +351,13 @@ func (e *Engine) AllDone() bool {
 
 // RunSlot executes exactly one slot: collects actions, resolves each channel,
 // and delivers feedback. It returns an error if any protocol produced an
-// invalid action (out-of-range local channel index).
+// invalid action (out-of-range local channel index), or an *Interrupted
+// error — before executing anything — if a context attached via WithContext
+// is done.
 func (e *Engine) RunSlot() error {
+	if err := e.checkInterrupt(); err != nil {
+		return err
+	}
 	slot := e.slot
 	e.slot++
 	slotsExecuted.Add(1)

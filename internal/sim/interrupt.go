@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Interrupted is returned by RunSlot (and hence Run/RunWhile) when the
+// engine's context is done at a slot boundary. It carries the partial
+// progress — the number of fully executed slots — and unwraps to the
+// context's error so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work.
+//
+// The context is checked only between slots and the check draws no
+// randomness, so a run that completes yields byte-identical output with or
+// without a context attached; the error text is a pure function of the
+// cancellation slot, so repeated runs canceled at the same slot produce
+// identical errors.
+type Interrupted struct {
+	// Cause is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+	// Slots is the number of slots fully executed before the interrupt.
+	Slots int
+}
+
+func (e *Interrupted) Error() string {
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		return fmt.Sprintf("sim: deadline exceeded after %d slots", e.Slots)
+	}
+	return fmt.Sprintf("sim: run canceled after %d slots", e.Slots)
+}
+
+func (e *Interrupted) Unwrap() error { return e.Cause }
+
+// WithContext attaches a context to the engine: RunSlot checks ctx.Err()
+// at each slot boundary (before the slot executes) and returns an
+// *Interrupted error once the context is done. The engine remains usable —
+// no slot is half-executed. A nil context (the default) disables the check.
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) { e.ctx = ctx }
+}
+
+// checkInterrupt implements the slot-boundary context check.
+func (e *Engine) checkInterrupt() error {
+	if e.ctx == nil {
+		return nil
+	}
+	if cerr := e.ctx.Err(); cerr != nil {
+		return &Interrupted{Cause: cerr, Slots: e.slot}
+	}
+	return nil
+}

@@ -28,6 +28,8 @@ type JSONL struct {
 	line       []byte
 	meta       Meta
 	headerDone bool
+	finished   bool
+	events     int64
 	err        error
 }
 
@@ -74,6 +76,10 @@ func (j *JSONL) header() {
 // Emit implements Sink.
 func (j *JSONL) Emit(ev Event) {
 	if j.err != nil {
+		return
+	}
+	if j.finished {
+		j.err = fmt.Errorf("trace: event emitted after Finish")
 		return
 	}
 	j.header()
@@ -146,10 +152,34 @@ func (j *JSONL) Emit(ev Event) {
 		b = appendField(b, "crash", int64(ev.Node))
 		b = appendField(b, "spent", ev.A)
 		b = appendField(b, "rem", ev.B)
+	case KindCancel:
+		b = appendField(b, "t", int64(ev.Slot))
+		b = appendField(b, "deadline", ev.A)
 	default:
 		j.err = fmt.Errorf("trace: cannot encode invalid event kind %d", ev.Kind)
 		return
 	}
+	b = append(b, '}', '\n')
+	j.events++
+	j.write(b)
+}
+
+// Finish writes the end-of-stream marker — a trailer line carrying the
+// event count — and seals the sink: further Emit calls become sticky
+// errors. Writers call Finish whenever the stream ends deliberately,
+// including after a graceful cancel, so a trace file without the marker is
+// evidence of a torn write (process kill, disk full) and readers
+// (ReadAllTrailer, Summarize) surface that instead of silently folding the
+// partial stream. Finish is idempotent.
+func (j *JSONL) Finish() {
+	if j.finished || j.err != nil {
+		return
+	}
+	j.header() // an event-less stream still gets header + trailer
+	j.finished = true
+	b := j.line[:0]
+	b = append(b, `{"schema":"crn-trace-eof","events":`...)
+	b = strconv.AppendInt(b, j.events, 10)
 	b = append(b, '}', '\n')
 	j.write(b)
 }
@@ -205,6 +235,9 @@ type rawLine struct {
 	Spent int64 `json:"spent"`
 	Rem   int64 `json:"rem"`
 
+	Deadline int64 `json:"deadline"`
+	Events   int64 `json:"events"`
+
 	Protocol   string `json:"protocol"`
 	Nodes      int    `json:"nodes"`
 	PerNode    int    `json:"per_node"`
@@ -213,16 +246,38 @@ type rawLine struct {
 	Collisions string `json:"collisions"`
 }
 
+// Trailer reports how a JSONL stream ended.
+type Trailer struct {
+	// Complete is true when the stream closed with the end-of-stream
+	// marker Finish writes. A missing marker means the writer never got to
+	// seal the file — a torn write from an interrupted or crashed run.
+	Complete bool
+	// Events is the event count the marker claimed (equal to the parsed
+	// event count; a mismatch is a read error). Zero when Complete is
+	// false.
+	Events int64
+}
+
 // ReadAll parses a JSONL trace: the header line, then every event, in
 // order. It rejects missing or foreign headers and unknown schema
 // versions (the versioning rule of TRACE.md), and fails on any malformed
-// line so validation errors carry the line number.
+// line so validation errors carry the line number. ReadAll tolerates a
+// missing end-of-stream marker; use ReadAllTrailer to detect truncation.
 func ReadAll(r io.Reader) (Meta, []Event, error) {
+	meta, events, _, err := ReadAllTrailer(r)
+	return meta, events, err
+}
+
+// ReadAllTrailer is ReadAll plus the stream's Trailer, so callers can
+// distinguish a sealed trace (possibly ending in a cancel event) from a
+// torn one that lost its tail.
+func ReadAllTrailer(r io.Reader) (Meta, []Event, Trailer, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
 	var meta Meta
 	var events []Event
+	var trailer Trailer
 	for sc.Scan() {
 		lineNo++
 		text := sc.Bytes()
@@ -231,14 +286,14 @@ func ReadAll(r io.Reader) (Meta, []Event, error) {
 		}
 		raw := rawLine{T: nil, Ch: -1, W: -1, Node: -1, Parent: -1, Old: -1}
 		if err := json.Unmarshal(text, &raw); err != nil {
-			return meta, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return meta, nil, trailer, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
 		if lineNo == 1 {
 			if raw.Schema != "crn-trace" {
-				return meta, nil, fmt.Errorf("trace: line 1: not a crn-trace header (schema %q)", raw.Schema)
+				return meta, nil, trailer, fmt.Errorf("trace: line 1: not a crn-trace header (schema %q)", raw.Schema)
 			}
 			if raw.Version != Version {
-				return meta, nil, fmt.Errorf("trace: unsupported schema version %d (reader supports %d)", raw.Version, Version)
+				return meta, nil, trailer, fmt.Errorf("trace: unsupported schema version %d (reader supports %d)", raw.Version, Version)
 			}
 			meta = Meta{
 				Protocol:   raw.Protocol,
@@ -251,19 +306,29 @@ func ReadAll(r io.Reader) (Meta, []Event, error) {
 			}
 			continue
 		}
+		if trailer.Complete {
+			return meta, nil, trailer, fmt.Errorf("trace: line %d: content after the end-of-stream marker", lineNo)
+		}
+		if raw.Schema == "crn-trace-eof" {
+			if raw.Events != int64(len(events)) {
+				return meta, nil, trailer, fmt.Errorf("trace: end-of-stream marker claims %d events, stream carries %d", raw.Events, len(events))
+			}
+			trailer = Trailer{Complete: true, Events: raw.Events}
+			continue
+		}
 		ev, err := raw.event()
 		if err != nil {
-			return meta, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return meta, nil, trailer, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
 		events = append(events, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return meta, nil, fmt.Errorf("trace: read: %w", err)
+		return meta, nil, trailer, fmt.Errorf("trace: read: %w", err)
 	}
 	if lineNo == 0 {
-		return meta, nil, fmt.Errorf("trace: empty input (missing header)")
+		return meta, nil, trailer, fmt.Errorf("trace: empty input (missing header)")
 	}
-	return meta, events, nil
+	return meta, events, trailer, nil
 }
 
 func (raw *rawLine) event() (Event, error) {
@@ -302,6 +367,8 @@ func (raw *rawLine) event() (Event, error) {
 		return RestartEvent(slot, raw.Node), nil
 	case "adv":
 		return AdvEvent(slot, int(raw.Jam), int(raw.Crash), int(raw.Spent), int(raw.Rem)), nil
+	case "cancel":
+		return CancelEvent(slot, raw.Deadline != 0), nil
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", raw.K)
 	}

@@ -24,6 +24,15 @@ type Summary struct {
 	FinalInformed, TotalNodes int
 	// Phases lists the KindPhase events in order.
 	Phases []Event
+	// Complete reports that the stream ended with the end-of-stream
+	// marker. False means the file lost its tail — the metrics above cover
+	// only the recorded prefix, and callers should say so rather than
+	// present them as a whole run.
+	Complete bool
+	// Cancel points at the KindCancel event when the run was interrupted
+	// gracefully (nil otherwise): the run stopped at that slot boundary,
+	// by deadline when Cancel.A is 1.
+	Cancel *Event
 }
 
 // Summarize reads a JSONL trace and folds it into a Summary. The medium
@@ -31,7 +40,7 @@ type Summary struct {
 // metrics.Collector: KindChannel events accumulate per slot and each
 // KindSlot marker closes the slot, mirroring the live observer cadence.
 func Summarize(r io.Reader) (*Summary, error) {
-	meta, events, err := ReadAll(r)
+	meta, events, trailer, err := ReadAllTrailer(r)
 	if err != nil {
 		return nil, err
 	}
@@ -40,6 +49,7 @@ func Summarize(r io.Reader) (*Summary, error) {
 		Events:        make(map[Kind]int),
 		FinalInformed: -1,
 		TotalNodes:    -1,
+		Complete:      trailer.Complete,
 	}
 	var col metrics.Collector
 	var pending []sim.ChannelOutcome
@@ -74,6 +84,9 @@ func Summarize(r io.Reader) (*Summary, error) {
 			s.TotalNodes = int(ev.B)
 		case KindPhase:
 			s.Phases = append(s.Phases, ev)
+		case KindCancel:
+			ev := ev
+			s.Cancel = &ev
 		}
 	}
 	if len(pending) != 0 {

@@ -74,6 +74,13 @@ const (
 	// nothing emit no event, so B chains exactly from one event to the
 	// next (the invariant.Stream ledger check).
 	KindAdv
+	// KindCancel reports that the run was interrupted at a slot boundary
+	// by context cancellation or deadline expiry: the event's slot is the
+	// number of fully executed slots, A is 1 when a deadline expired and 0
+	// for a plain cancel. It is the stream's last protocol event; a
+	// gracefully interrupted trace still ends with the eof marker, so
+	// readers can tell a clean cancel from a torn file.
+	KindCancel
 )
 
 // String returns the kind's on-disk tag.
@@ -109,6 +116,8 @@ func (k Kind) String() string {
 		return "restart"
 	case KindAdv:
 		return "adv"
+	case KindCancel:
+		return "cancel"
 	default:
 		return "invalid"
 	}
@@ -241,6 +250,17 @@ func RestartEvent(slot, node int) Event {
 // (jam+crash) with remaining reserve left afterwards.
 func AdvEvent(slot, jam, crash, spent, remaining int) Event {
 	return Event{Kind: KindAdv, Slot: slot, Channel: jam, Node: crash, Peer: -1, A: int64(spent), B: int64(remaining)}
+}
+
+// CancelEvent returns a KindCancel record: the run stopped at the given
+// slot boundary, by deadline expiry when deadline is true and by plain
+// context cancellation otherwise.
+func CancelEvent(slot int, deadline bool) Event {
+	ev := Event{Kind: KindCancel, Slot: slot, Channel: -1, Node: -1, Peer: -1}
+	if deadline {
+		ev.A = 1
+	}
+	return ev
 }
 
 // Meta describes the run a trace was recorded from; it becomes the JSONL
